@@ -1,0 +1,42 @@
+// Command experiments runs the full experiment suite — one table per
+// figure, example, proposition and theorem of the paper (see DESIGN.md's
+// per-experiment index) — and prints the tables. EXPERIMENTS.md records
+// a reference run with the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	experiments            run everything
+//	experiments E6 E9      run selected experiments
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"xmlnorm/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	tables, err := bench.All()
+	if err != nil {
+		return err
+	}
+	selected := map[string]bool{}
+	for _, a := range args {
+		selected[a] = true
+	}
+	for _, t := range tables {
+		if len(selected) > 0 && !selected[t.ID] {
+			continue
+		}
+		fmt.Println(t)
+	}
+	return nil
+}

@@ -1,0 +1,369 @@
+// Command xnf is the command-line interface to the xmlnorm library: it
+// checks specifications (DTD + functional dependencies) against the XML
+// normal form XNF, normalizes them losslessly, migrates documents,
+// decides FD implication, and reports redundancy — implementing Arenas &
+// Libkin, "A Normal Form for XML Documents" (PODS 2002).
+//
+// Usage:
+//
+//	xnf check <spec>                 test XNF, list anomalous FDs
+//	xnf normalize <spec>             print the normalized specification
+//	xnf implies <spec> "<fd>"        decide (D, Σ) ⊢ fd
+//	xnf classify <spec>              DTD taxonomy (simple/disjunctive/N_D/...)
+//	xnf tuples <spec> <doc.xml>      print the tree-tuple table
+//	xnf redundancy <spec> <doc.xml>  measure update-anomaly redundancy
+//	xnf transform <spec> <doc.xml>   normalize and migrate the document
+//	xnf validate <spec> <doc.xml>    conformance + FD satisfaction
+//
+// A spec file is a DTD in <!ELEMENT>/<!ATTLIST> syntax, then a line
+// "%%", then one FD per line ("path, path -> path").
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"xmlnorm"
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/tuples"
+	"xmlnorm/internal/xfd"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, errNegative) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "xnf:", err)
+		os.Exit(1)
+	}
+}
+
+// errNegative marks a successful run whose answer is negative (not in
+// XNF, not implied, FDs violated); main exits 2 so scripts can branch
+// on the result without parsing output.
+var errNegative = errors.New("negative result")
+
+func usage() error {
+	return fmt.Errorf("usage: xnf <check|normalize|implies|classify|tuples|redundancy|transform|validate|cover> ...")
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return usage()
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "check":
+		return cmdCheck(rest)
+	case "normalize":
+		return cmdNormalize(rest)
+	case "implies":
+		return cmdImplies(rest)
+	case "classify":
+		return cmdClassify(rest)
+	case "tuples":
+		return cmdTuples(rest)
+	case "redundancy":
+		return cmdRedundancy(rest)
+	case "transform":
+		return cmdTransform(rest)
+	case "validate":
+		return cmdValidate(rest)
+	case "cover":
+		return cmdCover(rest)
+	default:
+		return usage()
+	}
+}
+
+func loadSpec(path string) (xmlnorm.Spec, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return xmlnorm.Spec{}, err
+	}
+	return xmlnorm.ParseSpec(string(b))
+}
+
+func loadDoc(path string) (*xmlnorm.Tree, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return xmlnorm.ParseDocument(string(b))
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	witness := fs.Bool("witness", false, "print a concrete redundant document per anomaly")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: xnf check [-witness] <spec>")
+	}
+	s, err := loadSpec(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	ok, anomalies, err := xmlnorm.CheckXNF(s)
+	if err != nil {
+		return err
+	}
+	if ok {
+		fmt.Println("in XNF")
+		return nil
+	}
+	fmt.Printf("NOT in XNF: %d anomalous FD(s)\n", len(anomalies))
+	for _, a := range anomalies {
+		fmt.Printf("  %s\n    (left-hand side does not determine %s)\n", a.FD, a.Target)
+		if *witness && a.Witness != nil {
+			fmt.Println("    witness document storing the value redundantly:")
+			for _, line := range strings.Split(strings.TrimRight(a.Witness.String(), "\n"), "\n") {
+				fmt.Printf("      %s\n", line)
+			}
+		}
+	}
+	return errNegative
+}
+
+func cmdNormalize(args []string) error {
+	fs := flag.NewFlagSet("normalize", flag.ContinueOnError)
+	simplified := fs.Bool("simplified", false, "use the implication-free variant (Proposition 7)")
+	verbose := fs.Bool("v", false, "print the applied steps")
+	report := fs.Bool("report", false, "print the dependency-preservation report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: xnf normalize [-simplified] [-v] <spec>")
+	}
+	s, err := loadSpec(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	out, steps, err := xmlnorm.Normalize(s, xmlnorm.NormalizeOptions{Simplified: *simplified})
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		for i, st := range steps {
+			fmt.Fprintf(os.Stderr, "step %d (%s): %s\n", i+1, st.Kind, st.Detail)
+			for _, d := range st.Dropped {
+				fmt.Fprintf(os.Stderr, "  dropped FD: %s\n", d)
+			}
+		}
+	}
+	if *report {
+		rep, err := xmlnorm.CheckPreservation(s, out, steps)
+		if err != nil {
+			return err
+		}
+		for _, p := range rep.Preserved {
+			suffix := ""
+			if p.Trivial {
+				suffix = " (now structural)"
+			}
+			if p.Rewritten.Equal(p.Original) {
+				fmt.Fprintf(os.Stderr, "preserved: %s%s\n", p.Original, suffix)
+			} else {
+				fmt.Fprintf(os.Stderr, "preserved: %s  as  %s%s\n", p.Original, p.Rewritten, suffix)
+			}
+		}
+		for _, l := range rep.Lost {
+			fmt.Fprintf(os.Stderr, "LOST: %s\n", l)
+		}
+	}
+	fmt.Print(xmlnorm.FormatSpec(out))
+	return nil
+}
+
+func cmdImplies(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: xnf implies <spec> \"<lhs -> rhs>\"")
+	}
+	s, err := loadSpec(args[0])
+	if err != nil {
+		return err
+	}
+	q, err := xfd.Parse(args[1])
+	if err != nil {
+		return err
+	}
+	ans, err := xmlnorm.Implies(s, q)
+	if err != nil {
+		return err
+	}
+	if ans.Implied {
+		fmt.Println("implied")
+		return nil
+	}
+	fmt.Println("NOT implied; counterexample document:")
+	fmt.Print(ans.Counterexample)
+	return errNegative
+}
+
+func cmdClassify(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: xnf classify <spec>")
+	}
+	s, err := loadSpec(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Print(xmlnorm.ClassifyDTD(s.DTD))
+	return nil
+}
+
+func cmdTuples(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: xnf tuples <spec> <doc.xml>")
+	}
+	s, err := loadSpec(args[0])
+	if err != nil {
+		return err
+	}
+	doc, err := loadDoc(args[1])
+	if err != nil {
+		return err
+	}
+	if err := xmlnorm.ConformsUnordered(doc, s.DTD); err != nil {
+		return err
+	}
+	ts, err := tuples.TuplesOf(doc, 0)
+	if err != nil {
+		return err
+	}
+	// Print as a table over the non-recursive DTD's paths.
+	paths, err := s.DTD.Paths()
+	if err != nil {
+		return err
+	}
+	var cols []string
+	for _, p := range paths {
+		cols = append(cols, p.String())
+	}
+	sort.Strings(cols)
+	fmt.Printf("%d maximal tuple(s)\n", len(ts))
+	for i, tup := range ts {
+		fmt.Printf("t%d:\n", i+1)
+		for _, c := range cols {
+			v, ok := tup.Get(dtd.MustParsePath(c))
+			if !ok {
+				fmt.Printf("  %-50s ⊥\n", c)
+				continue
+			}
+			fmt.Printf("  %-50s %s\n", c, v)
+		}
+	}
+	return nil
+}
+
+func cmdRedundancy(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: xnf redundancy <spec> <doc.xml>")
+	}
+	s, err := loadSpec(args[0])
+	if err != nil {
+		return err
+	}
+	doc, err := loadDoc(args[1])
+	if err != nil {
+		return err
+	}
+	rep, err := xmlnorm.MeasureRedundancy(s, doc)
+	if err != nil {
+		return err
+	}
+	for _, r := range rep.PerFD {
+		fmt.Printf("%s\n  stored %d times for %d distinct determinants: %d redundant\n",
+			r.FD, r.Occurrences, r.Groups, r.Redundant)
+	}
+	fmt.Printf("total redundant values: %d\n", rep.Redundant)
+	return nil
+}
+
+func cmdTransform(args []string) error {
+	fs := flag.NewFlagSet("transform", flag.ContinueOnError)
+	verbose := fs.Bool("v", false, "print the applied steps")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: xnf transform [-v] <spec> <doc.xml>")
+	}
+	s, err := loadSpec(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	doc, err := loadDoc(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	if err := xmlnorm.ConformsUnordered(doc, s.DTD); err != nil {
+		return fmt.Errorf("document does not conform to the spec: %v", err)
+	}
+	_, steps, err := xmlnorm.Normalize(s, xmlnorm.NormalizeOptions{})
+	if err != nil {
+		return err
+	}
+	if err := xmlnorm.TransformDocument(doc, steps); err != nil {
+		return err
+	}
+	if *verbose {
+		for i, st := range steps {
+			fmt.Fprintf(os.Stderr, "step %d (%s): %s\n", i+1, st.Kind, st.Detail)
+		}
+	}
+	fmt.Print(doc)
+	return nil
+}
+
+func cmdCover(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: xnf cover <spec>")
+	}
+	s, err := loadSpec(args[0])
+	if err != nil {
+		return err
+	}
+	mc, err := xmlnorm.MinimalCover(s)
+	if err != nil {
+		return err
+	}
+	fmt.Print(xfd.FormatSet(mc))
+	return nil
+}
+
+func cmdValidate(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: xnf validate <spec> <doc.xml>")
+	}
+	s, err := loadSpec(args[0])
+	if err != nil {
+		return err
+	}
+	doc, err := loadDoc(args[1])
+	if err != nil {
+		return err
+	}
+	if err := xmlnorm.Conforms(doc, s.DTD); err != nil {
+		return fmt.Errorf("conformance: %v", err)
+	}
+	var violated []string
+	for _, f := range s.FDs {
+		if !xmlnorm.Satisfies(doc, f) {
+			violated = append(violated, f.String())
+		}
+	}
+	if len(violated) > 0 {
+		fmt.Printf("conforms, but violates %d FD(s):\n  %s\n", len(violated), strings.Join(violated, "\n  "))
+		return errNegative
+	}
+	fmt.Println("valid: conforms and satisfies all FDs")
+	return nil
+}

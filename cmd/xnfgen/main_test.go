@@ -1,0 +1,62 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xmlnorm/internal/paperdata"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	return out, runErr
+}
+
+func TestWorkloads(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"university", "-courses", "3", "-students", "2"}, "<course"},
+		{[]string{"dblp", "-confs", "1", "-issues", "2", "-papers", "2"}, "<inproceedings"},
+		{[]string{"chain", "-depth", "3", "-attrs", "2"}, "%%"},
+		{[]string{"disjunctive", "-groups", "2", "-branches", "2"}, "<!ELEMENT p"},
+		{[]string{"document", "-spec", filepath.Join(paperdata.Dir(), "courses.spec"), "-seed", "7"}, "<courses"},
+	}
+	for _, c := range cases {
+		out, err := capture(t, func() error { return run(c.args) })
+		if err != nil {
+			t.Fatalf("%v: %v", c.args, err)
+		}
+		if !strings.Contains(out, c.want) {
+			t.Errorf("%v: output missing %q:\n%s", c.args, c.want, out)
+		}
+	}
+}
+
+func TestUsage(t *testing.T) {
+	for _, args := range [][]string{{}, {"nope"}, {"document"}} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package xmlnorm_test
+
+import (
+	"fmt"
+	"log"
+
+	"xmlnorm"
+)
+
+// The DBLP fragment of Example 1.2: every paper of an issue carries the
+// issue's year.
+const dblpSpec = `
+<!ELEMENT db (conf*)>
+<!ELEMENT conf (title, issue+)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT issue (inproceedings+)>
+<!ELEMENT inproceedings (author+, title, booktitle)>
+<!ATTLIST inproceedings
+    key ID #REQUIRED
+    pages CDATA #REQUIRED
+    year CDATA #REQUIRED>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT booktitle (#PCDATA)>
+%%
+db.conf.title.S -> db.conf
+db.conf.issue -> db.conf.issue.inproceedings.@year
+db.conf.issue.inproceedings.@key -> db.conf.issue.inproceedings
+`
+
+func ExampleCheckXNF() {
+	spec, err := xmlnorm.ParseSpec(dblpSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, anomalies, err := xmlnorm.CheckXNF(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("in XNF:", ok)
+	for _, a := range anomalies {
+		fmt.Println("anomalous:", a.FD)
+	}
+	// Output:
+	// in XNF: false
+	// anomalous: db.conf.issue -> db.conf.issue.inproceedings.@year
+}
+
+func ExampleNormalize() {
+	spec, err := xmlnorm.ParseSpec(dblpSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, steps, err := xmlnorm.Normalize(spec, xmlnorm.NormalizeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range steps {
+		fmt.Printf("%s: %s\n", s.Kind, s.Detail)
+	}
+	// Output:
+	// move-attribute: moved db.conf.issue.inproceedings.@year to db.conf.issue.@year
+}
+
+func ExampleImplies() {
+	spec, err := xmlnorm.ParseSpec(dblpSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The paper key chains with structure: a paper's key determines its
+	// year (through the inproceedings vertex).
+	q := spec.FDs[2] // the key FD is in Σ
+	q.RHS[0] = xmlnorm.Path{"db", "conf", "issue", "inproceedings", "@year"}
+	ans, err := xmlnorm.Implies(spec, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("implied:", ans.Implied)
+	// Output:
+	// implied: true
+}
+
+func ExampleClassifyDTD() {
+	spec, err := xmlnorm.ParseSpec(dblpSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := xmlnorm.ClassifyDTD(spec.DTD)
+	fmt.Println("simple:", c.Simple)
+	fmt.Println("paths:", c.Paths)
+	// Output:
+	// simple: true
+	// paths: 15
+}

@@ -1,0 +1,106 @@
+// designdoctor scans specification files (*.spec: DTD %% FDs) and DTDs
+// (*.dtd) in a directory and prints a design report for each: the
+// Section 7 classification, the XNF verdict with the anomalous FDs, the
+// repair the normalization algorithm proposes, and the dependency-
+// preservation summary — the paper's "good DTD design" consulting
+// scenario as a batch tool.
+//
+//	go run ./examples/designdoctor [dir]   (default: testdata)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"xmlnorm"
+	"xmlnorm/internal/paperdata"
+)
+
+func main() {
+	dir := paperdata.Dir()
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(e.Name(), ".spec") || strings.HasSuffix(e.Name(), ".dtd") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	for _, name := range files {
+		examine(filepath.Join(dir, name))
+	}
+}
+
+func examine(path string) {
+	fmt.Printf("=== %s ===\n", filepath.Base(path))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Printf("  unreadable: %v\n\n", err)
+		return
+	}
+	spec, err := xmlnorm.ParseSpec(string(b))
+	if err != nil {
+		fmt.Printf("  does not parse: %v\n\n", err)
+		return
+	}
+	c := xmlnorm.ClassifyDTD(spec.DTD)
+	fmt.Printf("  elements: %d, FDs: %d, simple: %v, disjunctive: %v, recursive: %v\n",
+		spec.DTD.Len(), len(spec.FDs), c.Simple, c.Disjunctive, c.Recursive)
+	if c.Recursive || !c.Disjunctive {
+		fmt.Printf("  (outside the tractable classes; XNF analysis skipped)\n\n")
+		return
+	}
+	if len(spec.FDs) == 0 {
+		fmt.Printf("  no functional dependencies declared; trivially in XNF\n\n")
+		return
+	}
+	ok, anomalies, err := xmlnorm.CheckXNF(spec)
+	if err != nil {
+		fmt.Printf("  check failed: %v\n\n", err)
+		return
+	}
+	if ok {
+		fmt.Printf("  in XNF: well designed\n\n")
+		return
+	}
+	fmt.Printf("  NOT in XNF — %d anomalous FD(s):\n", len(anomalies))
+	for _, a := range anomalies {
+		fmt.Printf("    %s\n", a.FD)
+	}
+	out, steps, err := xmlnorm.Normalize(spec, xmlnorm.NormalizeOptions{})
+	if err != nil {
+		fmt.Printf("  normalization failed: %v\n\n", err)
+		return
+	}
+	fmt.Printf("  proposed repair (%d step(s)):\n", len(steps))
+	for _, st := range steps {
+		fmt.Printf("    %s: %s\n", st.Kind, st.Detail)
+	}
+	rep, err := xmlnorm.CheckPreservation(spec, out, steps)
+	if err != nil {
+		fmt.Printf("  preservation check failed: %v\n\n", err)
+		return
+	}
+	if rep.OK() {
+		fmt.Printf("  all %d original FDs preserved\n\n", len(rep.Preserved))
+		return
+	}
+	fmt.Printf("  WARNING: %d FD(s) not preserved:\n", len(rep.Lost))
+	for _, l := range rep.Lost {
+		fmt.Printf("    %s\n", l)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,110 @@
+// Nested relations and the two classical normal forms the paper
+// generalizes (Section 5): the Figure 3 Country/State/City relation,
+// its complete unnesting, PNF, the XML encoding, and the equivalences
+// BCNF ⇔ XNF (Proposition 4) and NNF ⇔ XNF (Proposition 5) checked
+// live.
+//
+//	go run ./examples/nestedrel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xmlnorm/internal/nested"
+	"xmlnorm/internal/relational"
+	"xmlnorm/internal/xnf"
+)
+
+func main() {
+	// --- Figure 3 ---
+	h3 := &nested.Schema{Name: "H3", Attrs: []string{"City"}}
+	h2 := &nested.Schema{Name: "H2", Attrs: []string{"State"}, Children: []*nested.Schema{h3}}
+	h1 := &nested.Schema{Name: "H1", Attrs: []string{"Country"}, Children: []*nested.Schema{h2}}
+
+	texas := nested.NewRelation(h3)
+	texas.Add([]string{"Houston"})
+	texas.Add([]string{"Dallas"})
+	ohio := nested.NewRelation(h3)
+	ohio.Add([]string{"Columbus"})
+	ohio.Add([]string{"Cleveland"})
+	states := nested.NewRelation(h2)
+	states.Add([]string{"Texas"}, texas)
+	states.Add([]string{"Ohio"}, ohio)
+	us := nested.NewRelation(h1)
+	us.Add([]string{"United States"}, states)
+
+	fmt.Println("=== Figure 3(a): nested relation", h1, "===")
+	fmt.Println("in PNF:", us.IsPNF())
+	cols, rows := us.Unnest()
+	fmt.Println("\n=== Figure 3(b): complete unnesting ===")
+	fmt.Println(cols)
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+	stateCountry := relational.MustParseFD("State -> Country")
+	stateCity := relational.MustParseFD("State -> City")
+	fmt.Printf("\nState -> Country holds: %v (the paper's valid FD)\n",
+		nested.SatisfiesFlat(cols, rows, stateCountry))
+	fmt.Printf("State -> City holds:    %v (the paper's failing FD)\n",
+		nested.SatisfiesFlat(cols, rows, stateCity))
+
+	// --- the XML encoding of Section 5 ---
+	d, sigma, err := nested.EncodeXML(h1, []relational.FD{stateCountry})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== XML encoding (Section 5) ===")
+	fmt.Print(d)
+	fmt.Println("Σ_FD:")
+	for _, f := range sigma {
+		fmt.Println(" ", f)
+	}
+
+	// --- Proposition 5 ---
+	nnf, viols, err := nested.IsNNF(h1, []relational.FD{stateCountry})
+	if err != nil {
+		log.Fatal(err)
+	}
+	xnfOK, _, err := xnf.Check(xnf.Spec{DTD: d, FDs: sigma})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nNNF: %v, XNF of the encoding: %v (Proposition 5: they agree)\n", nnf, xnfOK)
+
+	// A design that fails both: City -> State.
+	cityState := relational.MustParseFD("City -> State")
+	nnf2, viols2, err := nested.IsNNF(h1, []relational.FD{cityState})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d2, sigma2, err := nested.EncodeXML(h1, []relational.FD{cityState})
+	if err != nil {
+		log.Fatal(err)
+	}
+	xnf2, anomalies, err := xnf.Check(xnf.Spec{DTD: d2, FDs: sigma2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with City -> State: NNF %v %v, XNF %v %v\n", nnf2, viols2, xnf2, anomalies)
+	_ = viols
+
+	// --- Proposition 4: plain relations as XML ---
+	fmt.Println("\n=== Proposition 4: BCNF ⇔ XNF ===")
+	schema := relational.Schema{Name: "G", Attrs: relational.NewAttrSet("A", "B", "C")}
+	fds := []relational.FD{relational.MustParseFD("A -> B")}
+	bcnf, _ := relational.IsBCNF(schema, fds)
+	d3, sigma3, err := relational.EncodeXML(schema, fds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x3, _, err := xnf.Check(xnf.Spec{DTD: d3, FDs: sigma3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("G(A,B,C) with A->B: BCNF %v, XNF %v\n", bcnf, x3)
+	fmt.Println("\nBCNF decomposition of G:")
+	for _, frag := range relational.Decompose(schema, fds) {
+		fmt.Printf("  %s(%s)\n", frag.Name, frag.Attrs)
+	}
+}

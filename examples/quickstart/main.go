@@ -1,0 +1,98 @@
+// Quickstart: parse a specification (DTD + functional dependencies),
+// test it against XNF, normalize it, and migrate a document — the whole
+// pipeline of Arenas & Libkin's "A Normal Form for XML Documents" in
+// thirty lines of user code.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xmlnorm"
+)
+
+const spec = `
+<!ELEMENT projects (project*)>
+<!ELEMENT project (task*)>
+<!ATTLIST project
+    pid CDATA #REQUIRED>
+<!ELEMENT task EMPTY>
+<!ATTLIST task
+    tid CDATA #REQUIRED
+    owner CDATA #REQUIRED
+    owner_email CDATA #REQUIRED>
+%%
+# a task id identifies the task within its project
+projects.project, projects.project.task.@tid -> projects.project.task
+# every owner has one email address — stored on every task: redundancy!
+projects.project.task.@owner -> projects.project.task.@owner_email
+`
+
+const document = `
+<projects>
+  <project pid="p1">
+    <task tid="t1" owner="ana" owner_email="ana@example.org"/>
+    <task tid="t2" owner="bob" owner_email="bob@example.org"/>
+  </project>
+  <project pid="p2">
+    <task tid="t1" owner="ana" owner_email="ana@example.org"/>
+  </project>
+</projects>
+`
+
+func main() {
+	s, err := xmlnorm.ParseSpec(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Is the design in XNF?
+	ok, anomalies, err := xmlnorm.CheckXNF(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("in XNF: %v\n", ok)
+	for _, a := range anomalies {
+		fmt.Printf("  anomalous: %s\n", a.FD)
+	}
+
+	// 2. How much redundancy does it cause in a real document?
+	doc, err := xmlnorm.ParseDocument(document)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := xmlnorm.MeasureRedundancy(s, doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("redundant stored values: %d\n\n", rep.Redundant)
+
+	// 3. Normalize the schema (losslessly).
+	out, steps, err := xmlnorm.Normalize(s, xmlnorm.NormalizeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, st := range steps {
+		fmt.Printf("step %d (%s): %s\n", i+1, st.Kind, st.Detail)
+	}
+	fmt.Printf("\nnormalized specification:\n%s\n", xmlnorm.FormatSpec(out))
+
+	// 4. Migrate the document and verify there is nothing redundant left.
+	if err := xmlnorm.TransformDocument(doc, steps); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("migrated document:\n%s\n", doc)
+	rep2, err := xmlnorm.MeasureRedundancy(out, doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("redundant stored values after: %d\n", rep2.Redundant)
+
+	// 5. And it is lossless: reconstruct the original.
+	if err := xmlnorm.ReconstructDocument(doc, steps); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreconstructed original:\n%s", doc)
+}

@@ -1,0 +1,3 @@
+module xmlnorm
+
+go 1.22

@@ -1,0 +1,196 @@
+package xmlnorm
+
+// End-to-end integration tests over the public API: multi-step
+// normalizations on synthetic workloads at scale, with document
+// migration, losslessness, preservation and redundancy all verified in
+// one pipeline run.
+
+import (
+	"math/rand"
+	"testing"
+
+	"xmlnorm/internal/gen"
+	"xmlnorm/internal/xnf"
+)
+
+// TestPipelineChainDeep runs a six-step normalization (chain of depth 7
+// with an anomaly on every level below the first) and pushes a hundred
+// generated documents through it.
+func TestPipelineChainDeep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep pipeline")
+	}
+	const depth = 7
+	spec := Spec{DTD: gen.ChainDTD(depth, 2), FDs: gen.ChainFDs(depth, 2)}
+	out, steps, err := Normalize(spec, NormalizeOptions{VerifySteps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != depth-1 {
+		t.Fatalf("steps = %d, want %d (one per anomalous level)", len(steps), depth-1)
+	}
+	ok, anomalies, err := CheckXNF(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("result not in XNF: %v", anomalies)
+	}
+	// Dependency preservation holds on this family.
+	rep, err := CheckPreservation(spec, out, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("lost FDs: %v", rep.Lost)
+	}
+	// Documents migrate and come back.
+	rng := rand.New(rand.NewSource(404))
+	migrated, roundTripped := 0, 0
+	for i := 0; i < 100; i++ {
+		doc := gen.ChainDocument(depth, rng)
+		if err := Conforms(doc, spec.DTD); err != nil {
+			t.Fatalf("doc %d: %v", i, err)
+		}
+		if !SatisfiesAll(doc, spec.FDs) {
+			continue
+		}
+		original := doc.Clone()
+		if err := TransformDocument(doc, steps); err != nil {
+			t.Fatalf("doc %d transform: %v", i, err)
+		}
+		migrated++
+		if err := ConformsUnordered(doc, out.DTD); err != nil {
+			t.Fatalf("doc %d nonconforming after migration: %v", i, err)
+		}
+		if !SatisfiesAll(doc, out.FDs) {
+			t.Fatalf("doc %d violates Σ' after migration", i)
+		}
+		after, err := MeasureRedundancy(out, doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after.Redundant != 0 {
+			t.Fatalf("doc %d still redundant after migration: %d", i, after.Redundant)
+		}
+		if err := ReconstructDocument(doc, steps); err != nil {
+			t.Fatalf("doc %d reconstruct: %v", i, err)
+		}
+		if doc.Canonical() != original.Canonical() {
+			t.Fatalf("doc %d: reconstruction differs", i)
+		}
+		roundTripped++
+	}
+	if migrated < 50 {
+		t.Fatalf("only %d/100 documents satisfied Σ; generator broken?", migrated)
+	}
+	if roundTripped != migrated {
+		t.Fatalf("round trips: %d/%d", roundTripped, migrated)
+	}
+	t.Logf("migrated and round-tripped %d documents through %d steps", migrated, len(steps))
+}
+
+// TestPipelineSurrogates: a spec outside the paper's FD normal form is
+// preprocessed with surrogate keys and then normalizes cleanly.
+func TestPipelineSurrogates(t *testing.T) {
+	spec, err := ParseSpec(`
+<!ELEMENT orders (order*)>
+<!ELEMENT order (shipment*)>
+<!ATTLIST order oid CDATA #REQUIRED>
+<!ELEMENT shipment (leg*)>
+<!ELEMENT leg EMPTY>
+<!ATTLIST leg lane CDATA #REQUIRED carrier CDATA #REQUIRED>
+%%
+orders.order, orders.order.shipment -> orders.order.shipment.leg.@lane
+orders.order.shipment.leg.@lane -> orders.order.shipment.leg.@carrier
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xnf.HasMultiElementLHS(spec) {
+		t.Fatal("fixture should have a multi-element LHS")
+	}
+	pre, preSteps, err := xnf.EliminateMultiElementLHS(spec, xnf.Names{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, steps, err := Normalize(pre, NormalizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, anomalies, err := CheckXNF(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("not in XNF after surrogate preprocessing: %v", anomalies)
+	}
+	// Documents migrate through surrogate + normalization steps.
+	// The guarding FD says all legs of one shipment share a lane.
+	doc, err := ParseDocument(`
+<orders>
+  <order oid="o1">
+    <shipment><leg lane="L1" carrier="acme"/><leg lane="L1" carrier="acme"/></shipment>
+    <shipment><leg lane="L2" carrier="box"/></shipment>
+  </order>
+</orders>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]Step{}, preSteps...), steps...)
+	original := doc.Clone()
+	if err := TransformDocument(doc, all); err != nil {
+		t.Fatal(err)
+	}
+	if err := ConformsUnordered(doc, out.DTD); err != nil {
+		t.Errorf("migrated doc: %v", err)
+	}
+	if err := ReconstructDocument(doc, all); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Canonical() != original.Canonical() {
+		t.Errorf("surrogate pipeline not lossless:\n%s\nvs\n%s", doc, original)
+	}
+}
+
+// TestPipelineWideParallelAnomalies: several anomalies in unrelated
+// branches are all fixed, independently.
+func TestPipelineWideParallelAnomalies(t *testing.T) {
+	spec, err := ParseSpec(`
+<!ELEMENT db (emp*, proj*)>
+<!ELEMENT emp EMPTY>
+<!ATTLIST emp id CDATA #REQUIRED dept CDATA #REQUIRED dname CDATA #REQUIRED>
+<!ELEMENT proj EMPTY>
+<!ATTLIST proj pid CDATA #REQUIRED lead CDATA #REQUIRED lead_phone CDATA #REQUIRED>
+%%
+db.emp.@id -> db.emp
+db.emp.@dept -> db.emp.@dname
+db.proj.@pid -> db.proj
+db.proj.@lead -> db.proj.@lead_phone
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, steps, err := Normalize(spec, NormalizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 2 {
+		t.Fatalf("steps = %d, want 2 (one per branch)", len(steps))
+	}
+	ok, _, err := CheckXNF(out)
+	if err != nil || !ok {
+		t.Fatalf("not in XNF: %v %v", ok, err)
+	}
+	// Two new grouping element types.
+	if out.DTD.Len() != spec.DTD.Len()+4 {
+		t.Errorf("element count %d, want %d", out.DTD.Len(), spec.DTD.Len()+4)
+	}
+	rep, err := CheckPreservation(spec, out, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("lost FDs: %v", rep.Lost)
+	}
+}

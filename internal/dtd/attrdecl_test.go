@@ -1,0 +1,64 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAttrDeclRoundTrip: types and defaults are preserved through
+// parse/print, including the paper's "key ID #REQUIRED".
+func TestAttrDeclRoundTrip(t *testing.T) {
+	in := `
+<!ELEMENT r EMPTY>
+<!ATTLIST r
+    key ID #REQUIRED
+    pages CDATA #REQUIRED
+    opt CDATA #IMPLIED
+    fixed CDATA #FIXED "v1"
+    enum (a|b|c) "a">`
+	d := MustParse(in)
+	out := d.String()
+	for _, want := range []string{
+		"key ID #REQUIRED",
+		"pages CDATA #REQUIRED",
+		"opt CDATA #IMPLIED",
+		`fixed CDATA #FIXED "v1"`,
+		`enum (a|b|c) "a"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() lost %q:\n%s", want, out)
+		}
+	}
+	// Reparse gives equal declarations.
+	again := MustParse(out)
+	for _, a := range d.Element("r").Attrs {
+		if d.Element("r").Decl(a) != again.Element("r").Decl(a) {
+			t.Errorf("decl for %q changed: %+v vs %+v", a,
+				d.Element("r").Decl(a), again.Element("r").Decl(a))
+		}
+	}
+	// Clone copies declarations independently.
+	c := d.Clone()
+	c.Element("r").SetDecl("key", AttrDecl{Type: "CDATA"})
+	if d.Element("r").Decl("key").Type != "ID" {
+		t.Error("clone shares Decls with original")
+	}
+	// RemoveAttr drops the declaration too.
+	c.RemoveAttr("r", "fixed")
+	if _, ok := c.Element("r").Decls["fixed"]; ok {
+		t.Error("RemoveAttr left the declaration behind")
+	}
+}
+
+func TestAttrDeclDefaults(t *testing.T) {
+	var zero AttrDecl
+	if got := zero.decl(); got != "CDATA #REQUIRED" {
+		t.Errorf("zero decl = %q", got)
+	}
+	if got := (AttrDecl{Type: "ID"}).decl(); got != "ID #REQUIRED" {
+		t.Errorf("ID decl = %q", got)
+	}
+	if got := (AttrDecl{Literal: `"x"`}).decl(); got != `CDATA "x"` {
+		t.Errorf("literal decl = %q", got)
+	}
+}

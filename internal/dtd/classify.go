@@ -1,0 +1,150 @@
+package dtd
+
+import (
+	"fmt"
+
+	"xmlnorm/internal/regex"
+)
+
+// IsSimple reports whether every content model in the DTD is a simple
+// regular expression (Section 7). EMPTY and #PCDATA content is trivially
+// simple.
+func (d *DTD) IsSimple() bool {
+	for _, name := range d.order {
+		e := d.elems[name]
+		if e.Kind != ModelContent {
+			continue
+		}
+		if _, ok := regex.Simple(e.Model); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Factors classifies every content model as disjunctive and returns the
+// per-element factor decomposition. The second result is false if some
+// content model is not disjunctive.
+func (d *DTD) Factors() (map[string][]regex.Factor, bool) {
+	out := map[string][]regex.Factor{}
+	for _, name := range d.order {
+		e := d.elems[name]
+		if e.Kind != ModelContent {
+			out[name] = nil
+			continue
+		}
+		fs, ok := regex.Disjunctive(e.Model)
+		if !ok {
+			return nil, false
+		}
+		out[name] = fs
+	}
+	return out, true
+}
+
+// IsDisjunctive reports whether the DTD is disjunctive: every content
+// model is a concatenation of simple expressions and simple disjunctions
+// over pairwise disjoint alphabets.
+func (d *DTD) IsDisjunctive() bool {
+	_, ok := d.Factors()
+	return ok
+}
+
+// NDCap bounds the value returned by ND; larger values are reported as
+// NDCap to avoid overflow on adversarial inputs.
+const NDCap = 1 << 40
+
+// ND computes the disjunction measure N_D of Section 7:
+//
+//	N_s   = 1 for a simple factor, (#branches) for a simple disjunction
+//	N_τ   = 1 if P(τ) is simple as a whole, otherwise
+//	        |{p ∈ paths(D) : last(p) = τ}| × Π_i N_{s_i}
+//	N_D   = Π_{τ ∈ E} N_τ
+//
+// It requires a non-recursive disjunctive DTD.
+func (d *DTD) ND() (int64, error) {
+	factors, ok := d.Factors()
+	if !ok {
+		return 0, fmt.Errorf("dtd: not a disjunctive DTD")
+	}
+	all, err := d.Paths()
+	if err != nil {
+		return 0, err
+	}
+	pathsEndingIn := map[string]int64{}
+	for _, p := range all {
+		if p.IsElem() {
+			pathsEndingIn[p.Last()]++
+		}
+	}
+	total := int64(1)
+	for _, name := range d.order {
+		e := d.elems[name]
+		if e.Kind != ModelContent {
+			continue
+		}
+		if _, simple := regex.Simple(e.Model); simple {
+			continue // N_τ = 1
+		}
+		nTau := pathsEndingIn[name]
+		if nTau == 0 {
+			continue // unreachable element type contributes nothing
+		}
+		for _, f := range factors[name] {
+			nTau *= int64(regex.FactorCost(f))
+			if nTau > NDCap {
+				return NDCap, nil
+			}
+		}
+		total *= nTau
+		if total > NDCap {
+			return NDCap, nil
+		}
+	}
+	return total, nil
+}
+
+// Relationality is the three-valued answer of the relational-DTD check.
+type Relationality uint8
+
+// Relationality values.
+const (
+	RelUnknown Relationality = iota
+	RelYes
+	RelNo
+)
+
+func (r Relationality) String() string {
+	switch r {
+	case RelYes:
+		return "relational"
+	case RelNo:
+		return "not relational"
+	}
+	return "unknown"
+}
+
+// RelationalHeuristic decides relationality of the DTD where it can:
+// every disjunctive DTD is relational (Proposition 9), and a DTD with a
+// content model that forces two or more occurrences of some letter in
+// every word (such as <!ELEMENT a (b,b)>, the paper's counterexample) is
+// not relational, because the tree of a single tuple cannot conform.
+// Otherwise it reports RelUnknown; the implication package offers a
+// bounded semantic search for those cases.
+func (d *DTD) RelationalHeuristic() Relationality {
+	if d.IsDisjunctive() {
+		return RelYes
+	}
+	for _, name := range d.order {
+		e := d.elems[name]
+		if e.Kind != ModelContent {
+			continue
+		}
+		for _, c := range regex.CountsOf(e.Model) {
+			if c.Lo >= 2 {
+				return RelNo
+			}
+		}
+	}
+	return RelUnknown
+}

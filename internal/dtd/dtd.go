@@ -1,0 +1,330 @@
+// Package dtd implements Document Type Definitions as defined in
+// Definition 1 of Arenas & Libkin, "A Normal Form for XML Documents"
+// (PODS 2002): a DTD is (E, A, P, R, r) where E is a set of element
+// types, A a set of attributes, P maps element types to content models
+// (ε, S, or a regular expression over E), R maps element types to
+// attribute sets, and r is the root element type.
+//
+// The package provides the data model, a parser and printer for the
+// standard <!ELEMENT>/<!ATTLIST> syntax, enumeration of paths(D) and
+// EPaths(D), and the DTD classifications of Section 7 of the paper:
+// simple DTDs, disjunctive DTDs (with the disjunction measure N_D), and
+// the relational DTD heuristics.
+package dtd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xmlnorm/internal/regex"
+)
+
+// TextStep is the reserved path step S denoting the string content of an
+// element (the paper's reserved symbol S for #PCDATA). Element types may
+// not be named "S".
+const TextStep = "S"
+
+// ContentKind distinguishes the three forms of P(τ).
+type ContentKind uint8
+
+// Content kinds.
+const (
+	EmptyContent ContentKind = iota // P(τ) = ε, declared EMPTY
+	TextContent                     // P(τ) = S, declared (#PCDATA)
+	ModelContent                    // P(τ) is a regular expression over E
+)
+
+// AttrDecl carries the syntactic details of an attribute declaration.
+// The paper's data model (Definition 3) treats every declared attribute
+// as a required string, so Type and Default do not affect any semantics
+// in this library; they are preserved so DTDs round-trip faithfully
+// (e.g. DBLP's "key ID #REQUIRED").
+type AttrDecl struct {
+	Type    string // CDATA, ID, NMTOKEN, an enumeration "(a|b)", ...
+	Default string // #REQUIRED, #IMPLIED, #FIXED, or "" for a plain literal
+	Literal string // the quoted literal for #FIXED or plain defaults
+}
+
+// decl returns the declaration string after the attribute name.
+func (a AttrDecl) decl() string {
+	typ := a.Type
+	if typ == "" {
+		typ = "CDATA"
+	}
+	def := a.Default
+	if def == "" && a.Literal == "" {
+		def = "#REQUIRED"
+	}
+	out := typ
+	if def != "" {
+		out += " " + def
+	}
+	if a.Literal != "" {
+		out += " " + a.Literal
+	}
+	return out
+}
+
+// Element is one element type declaration: its content model P(τ) and
+// its attribute set R(τ).
+type Element struct {
+	Name  string
+	Kind  ContentKind
+	Model *regex.Expr // set iff Kind == ModelContent
+	Attrs []string    // attribute names, without '@', in declaration order
+	// Decls preserves attribute types and defaults by name; entries are
+	// optional (absent means CDATA #REQUIRED).
+	Decls map[string]AttrDecl
+}
+
+// Decl returns the declaration details for an attribute.
+func (e *Element) Decl(name string) AttrDecl {
+	if d, ok := e.Decls[name]; ok {
+		return d
+	}
+	return AttrDecl{}
+}
+
+// SetDecl records declaration details for an attribute.
+func (e *Element) SetDecl(name string, d AttrDecl) {
+	if e.Decls == nil {
+		e.Decls = map[string]AttrDecl{}
+	}
+	e.Decls[name] = d
+}
+
+// HasAttr reports whether the element declares the attribute (name
+// without '@').
+func (e *Element) HasAttr(name string) bool {
+	for _, a := range e.Attrs {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// clone returns a deep copy.
+func (e *Element) clone() *Element {
+	c := &Element{Name: e.Name, Kind: e.Kind, Attrs: append([]string(nil), e.Attrs...)}
+	if e.Model != nil {
+		c.Model = e.Model.Clone()
+	}
+	if e.Decls != nil {
+		c.Decls = make(map[string]AttrDecl, len(e.Decls))
+		for k, v := range e.Decls {
+			c.Decls[k] = v
+		}
+	}
+	return c
+}
+
+// DTD is a document type definition. The zero value is not usable; build
+// one with New and AddElement, or with Parse.
+type DTD struct {
+	root  string
+	elems map[string]*Element
+	order []string // element names in declaration order, for stable printing
+}
+
+// New returns an empty DTD whose root element type is root. The root
+// element itself must still be added with AddElement.
+func New(root string) *DTD {
+	return &DTD{root: root, elems: map[string]*Element{}}
+}
+
+// Root returns the root element type r.
+func (d *DTD) Root() string { return d.root }
+
+// Element returns the declaration of the named element type, or nil.
+func (d *DTD) Element(name string) *Element { return d.elems[name] }
+
+// Names returns the element type names in declaration order.
+func (d *DTD) Names() []string { return append([]string(nil), d.order...) }
+
+// Len returns the number of declared element types.
+func (d *DTD) Len() int { return len(d.order) }
+
+// AddElement declares an element type. It returns an error if the name
+// is already declared or reserved.
+func (d *DTD) AddElement(e *Element) error {
+	if e.Name == "" {
+		return fmt.Errorf("dtd: empty element name")
+	}
+	if e.Name == TextStep {
+		return fmt.Errorf("dtd: element name %q is reserved for string content", TextStep)
+	}
+	if strings.ContainsAny(e.Name, "@. ") {
+		return fmt.Errorf("dtd: element name %q contains a reserved character", e.Name)
+	}
+	if _, dup := d.elems[e.Name]; dup {
+		return fmt.Errorf("dtd: element %q declared twice", e.Name)
+	}
+	if (e.Kind == ModelContent) != (e.Model != nil) {
+		return fmt.Errorf("dtd: element %q: content kind and model disagree", e.Name)
+	}
+	for _, a := range e.Attrs {
+		if a == "" || strings.ContainsAny(a, "@. ") {
+			return fmt.Errorf("dtd: element %q: invalid attribute name %q", e.Name, a)
+		}
+	}
+	d.elems[e.Name] = e
+	d.order = append(d.order, e.Name)
+	return nil
+}
+
+// RemoveAttr removes an attribute from an element's set R(τ). It is a
+// no-op if the attribute is absent.
+func (d *DTD) RemoveAttr(elem, attr string) {
+	e := d.elems[elem]
+	if e == nil {
+		return
+	}
+	out := e.Attrs[:0]
+	for _, a := range e.Attrs {
+		if a != attr {
+			out = append(out, a)
+		}
+	}
+	e.Attrs = out
+	delete(e.Decls, attr)
+}
+
+// AddAttr adds an attribute to an element's set R(τ).
+func (d *DTD) AddAttr(elem, attr string) error {
+	e := d.elems[elem]
+	if e == nil {
+		return fmt.Errorf("dtd: element %q not declared", elem)
+	}
+	if e.HasAttr(attr) {
+		return fmt.Errorf("dtd: element %q already has attribute %q", elem, attr)
+	}
+	e.Attrs = append(e.Attrs, attr)
+	return nil
+}
+
+// Clone returns a deep copy of the DTD.
+func (d *DTD) Clone() *DTD {
+	c := New(d.root)
+	for _, name := range d.order {
+		c.elems[name] = d.elems[name].clone()
+	}
+	c.order = append([]string(nil), d.order...)
+	return c
+}
+
+// Validate checks the well-formedness conditions of Definition 1: the
+// root is declared, every letter used in a content model is a declared
+// element type, and the root element type does not occur in any content
+// model (the paper's w.l.o.g. assumption).
+func (d *DTD) Validate() error {
+	if d.root == "" {
+		return fmt.Errorf("dtd: no root element type")
+	}
+	if d.elems[d.root] == nil {
+		return fmt.Errorf("dtd: root element type %q not declared", d.root)
+	}
+	for _, name := range d.order {
+		e := d.elems[name]
+		if e.Kind != ModelContent {
+			continue
+		}
+		for _, a := range e.Model.Alphabet() {
+			if d.elems[a] == nil {
+				return fmt.Errorf("dtd: element %q uses undeclared element type %q", name, a)
+			}
+			if a == d.root {
+				return fmt.Errorf("dtd: root element type %q occurs in the content model of %q", d.root, name)
+			}
+		}
+	}
+	return nil
+}
+
+// Equal reports whether two DTDs declare the same root, element types,
+// content models and attribute sets. Attribute order and declaration
+// order are ignored; content models are compared structurally.
+func Equal(a, b *DTD) bool {
+	if a.root != b.root || len(a.elems) != len(b.elems) {
+		return false
+	}
+	for name, ea := range a.elems {
+		eb := b.elems[name]
+		if eb == nil || ea.Kind != eb.Kind {
+			return false
+		}
+		if ea.Kind == ModelContent && !regex.Equal(ea.Model, eb.Model) {
+			return false
+		}
+		if !sameStringSet(ea.Attrs, eb.Attrs) {
+			return false
+		}
+	}
+	return true
+}
+
+// EquivalentModels is like Equal but compares content models by their
+// simple-form units when both are simple, so that e.g. (a|b)* and a*,b*
+// are considered the same declaration.
+func EquivalentModels(a, b *DTD) bool {
+	if a.root != b.root || len(a.elems) != len(b.elems) {
+		return false
+	}
+	for name, ea := range a.elems {
+		eb := b.elems[name]
+		if eb == nil || ea.Kind != eb.Kind {
+			return false
+		}
+		if !sameStringSet(ea.Attrs, eb.Attrs) {
+			return false
+		}
+		if ea.Kind != ModelContent {
+			continue
+		}
+		ua, oka := regex.Simple(ea.Model)
+		ub, okb := regex.Simple(eb.Model)
+		if oka && okb {
+			if ua.String() != ub.String() {
+				return false
+			}
+			continue
+		}
+		if !regex.Equal(ea.Model, eb.Model) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameStringSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]string(nil), a...)
+	bs := append([]string(nil), b...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Size returns a measure of |D| used by the complexity experiments: the
+// total number of symbols across element declarations (letters in
+// content models plus attributes plus one per element).
+func (d *DTD) Size() int {
+	n := 0
+	for _, name := range d.order {
+		e := d.elems[name]
+		n++
+		n += len(e.Attrs)
+		if e.Kind == ModelContent {
+			n += len(e.Model.Alphabet())
+		}
+	}
+	return n
+}

@@ -1,0 +1,379 @@
+package dtd
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func readTestdata(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("../../testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func parseTestdata(t *testing.T, name string) *DTD {
+	t.Helper()
+	d, err := Parse(readTestdata(t, name))
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	return d
+}
+
+func TestParseCoursesDTD(t *testing.T) {
+	d := parseTestdata(t, "courses.dtd")
+	if d.Root() != "courses" {
+		t.Errorf("root = %q, want courses", d.Root())
+	}
+	if d.Len() != 7 {
+		t.Errorf("len = %d, want 7", d.Len())
+	}
+	course := d.Element("course")
+	if course == nil || course.Kind != ModelContent {
+		t.Fatalf("course element missing or wrong kind")
+	}
+	if got := course.Model.String(); got != "title,taken_by" {
+		t.Errorf("course model = %q", got)
+	}
+	if !course.HasAttr("cno") {
+		t.Error("course missing cno attribute")
+	}
+	if got := d.Element("title").Kind; got != TextContent {
+		t.Errorf("title kind = %v, want TextContent", got)
+	}
+	if got := d.Element("student").Attrs; len(got) != 1 || got[0] != "sno" {
+		t.Errorf("student attrs = %v", got)
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestParsePrintRoundTrip(t *testing.T) {
+	for _, name := range []string{"courses.dtd", "courses_xnf.dtd", "dblp.dtd", "dblp_xnf.dtd", "ebxml.dtd", "country.dtd"} {
+		d := parseTestdata(t, name)
+		d2, err := Parse(d.String())
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", name, err)
+		}
+		if !Equal(d, d2) {
+			t.Errorf("%s: print/parse round trip changed the DTD", name)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                     // no declarations
+		"<!ELEMENT a EMPTY",                    // unterminated
+		"<!ELEMENT a (b)>",                     // undeclared child
+		"<!ELEMENT a (a)>",                     // root occurs in a content model
+		"<!ELEMENT a ANY>",                     // ANY unsupported
+		"<!ELEMENT a EMPTY><!ELEMENT a EMPTY>", // duplicate
+		"<!ELEMENT S EMPTY>",                   // reserved name
+		"<!ATTLIST a x CDATA #REQUIRED>",       // ATTLIST first
+		"<!ELEMENT a EMPTY><!ATTLIST b x CDATA #REQUIRED>", // ATTLIST for undeclared
+		"<!ELEMENT a EMPTY><!ATTLIST a x CDATA>",           // missing default
+		"<!ELEMENT a EMPTY><!ATTLIST a x>",                 // missing type
+		"<!DOCTYPE foo>",                                   // unsupported declaration
+		"<!ELEMENT a (b,)><!ELEMENT b EMPTY>",              // bad regex
+		"junk <!ELEMENT a EMPTY>",                          // junk outside declarations
+	}
+	for _, in := range cases {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestAttlistForms(t *testing.T) {
+	d, err := Parse(`
+<!-- attribute types and defaults are accepted syntactically -->
+<!ELEMENT r EMPTY>
+<!ATTLIST r
+    a CDATA #REQUIRED
+    b ID #IMPLIED
+    c (x|y|z) "x"
+    d NMTOKEN #FIXED "v">`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := d.Element("r").Attrs
+	want := []string{"a", "b", "c", "d"}
+	if len(attrs) != len(want) {
+		t.Fatalf("attrs = %v, want %v", attrs, want)
+	}
+	for i := range want {
+		if attrs[i] != want[i] {
+			t.Fatalf("attrs = %v, want %v", attrs, want)
+		}
+	}
+}
+
+func TestPaths(t *testing.T) {
+	d := parseTestdata(t, "courses.dtd")
+	ps, err := d.Paths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, p := range ps {
+		got[p.String()] = true
+	}
+	want := []string{
+		"courses",
+		"courses.course",
+		"courses.course.@cno",
+		"courses.course.title",
+		"courses.course.title.S",
+		"courses.course.taken_by",
+		"courses.course.taken_by.student",
+		"courses.course.taken_by.student.@sno",
+		"courses.course.taken_by.student.name",
+		"courses.course.taken_by.student.name.S",
+		"courses.course.taken_by.student.grade",
+		"courses.course.taken_by.student.grade.S",
+	}
+	if len(got) != len(want) {
+		t.Errorf("got %d paths, want %d: %v", len(got), len(want), got)
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("missing path %q", w)
+		}
+	}
+	for _, w := range want {
+		if !d.IsPath(MustParsePath(w)) {
+			t.Errorf("IsPath(%q) = false", w)
+		}
+	}
+	for _, bad := range []string{"courses.title", "course", "courses.course.@sno", "courses.course.S", "courses.course.title.S.S"} {
+		p, err := ParsePath(bad)
+		if err != nil {
+			continue
+		}
+		if d.IsPath(p) {
+			t.Errorf("IsPath(%q) = true, want false", bad)
+		}
+	}
+
+	eps, err := d.EPaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 7 {
+		t.Errorf("EPaths count = %d, want 7", len(eps))
+	}
+	for _, p := range eps {
+		if !p.IsElem() {
+			t.Errorf("EPaths contains non-element path %q", p)
+		}
+	}
+}
+
+func TestPathParsing(t *testing.T) {
+	good := []string{"a", "a.b", "a.b.@c", "a.S", "a.b.S"}
+	for _, s := range good {
+		p, err := ParsePath(s)
+		if err != nil {
+			t.Errorf("ParsePath(%q): %v", s, err)
+			continue
+		}
+		if p.String() != s {
+			t.Errorf("round trip %q -> %q", s, p)
+		}
+	}
+	bad := []string{"", ".", "a.", ".a", "a.@b.c", "a.@", "a.S.b"}
+	for _, s := range bad {
+		if _, err := ParsePath(s); err == nil {
+			t.Errorf("ParsePath(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	p := MustParsePath("a.b.@c")
+	if p.Len() != 3 || p.Last() != "@c" || !p.IsAttr() || p.IsElem() || p.IsText() {
+		t.Errorf("helpers wrong for %q", p)
+	}
+	if got := p.Parent().String(); got != "a.b" {
+		t.Errorf("Parent = %q", got)
+	}
+	if got := p.Parent().Child("x").String(); got != "a.b.x" {
+		t.Errorf("Child = %q", got)
+	}
+	if !p.HasPrefix(MustParsePath("a.b")) || p.HasPrefix(MustParsePath("a.c")) || !p.HasPrefix(p) {
+		t.Error("HasPrefix wrong")
+	}
+	if MustParsePath("a.b").HasPrefix(p) {
+		t.Error("longer prefix accepted")
+	}
+	if !MustParsePath("a.b.S").IsText() {
+		t.Error("IsText wrong")
+	}
+	// Child must not alias the parent's backing array.
+	base := MustParsePath("a.b")
+	c1 := base.Child("x")
+	c2 := base.Child("y")
+	if c1.String() != "a.b.x" || c2.String() != "a.b.y" {
+		t.Errorf("Child aliasing: %q %q", c1, c2)
+	}
+}
+
+func TestRecursionDetection(t *testing.T) {
+	rec := MustParse(`
+<!ELEMENT part (part2*)>
+<!ELEMENT part2 (part3?)>
+<!ELEMENT part3 (part2*)>`)
+	if !rec.IsRecursive() {
+		t.Error("recursive DTD not detected")
+	}
+	if _, err := rec.Paths(); err == nil {
+		t.Error("Paths on recursive DTD should error")
+	}
+	ps := rec.PathsBounded(4)
+	for _, p := range ps {
+		if p.Len() > 4 {
+			t.Errorf("PathsBounded(4) returned %q", p)
+		}
+	}
+	if len(ps) == 0 {
+		t.Error("PathsBounded returned nothing")
+	}
+	if parseTestdata(t, "courses.dtd").IsRecursive() {
+		t.Error("courses DTD reported recursive")
+	}
+}
+
+func TestClassification(t *testing.T) {
+	courses := parseTestdata(t, "courses.dtd")
+	if !courses.IsSimple() || !courses.IsDisjunctive() {
+		t.Error("courses DTD should be simple and disjunctive")
+	}
+	nd, err := courses.ND()
+	if err != nil || nd != 1 {
+		t.Errorf("ND(courses) = %d, %v; want 1", nd, err)
+	}
+	if courses.RelationalHeuristic() != RelYes {
+		t.Error("courses should be relational (disjunctive)")
+	}
+
+	// Figure 5: ebXML BPSS is a simple DTD.
+	ebxml := parseTestdata(t, "ebxml.dtd")
+	if !ebxml.IsSimple() {
+		t.Error("ebXML BPSS should be simple (paper, Section 7)")
+	}
+
+	faq := MustParse(`
+<!ELEMENT faq (section*)>
+<!ELEMENT section (logo*, title, (qna+ | q+ | (p | div | section2)+))>
+<!ELEMENT logo EMPTY>
+<!ELEMENT title EMPTY>
+<!ELEMENT qna EMPTY>
+<!ELEMENT q EMPTY>
+<!ELEMENT p EMPTY>
+<!ELEMENT div EMPTY>
+<!ELEMENT section2 EMPTY>`)
+	if faq.IsSimple() {
+		t.Error("FAQ DTD should not be simple")
+	}
+	if faq.IsDisjunctive() {
+		t.Error("FAQ DTD should not be disjunctive")
+	}
+	if faq.RelationalHeuristic() != RelUnknown {
+		t.Errorf("FAQ relationality = %v, want unknown", faq.RelationalHeuristic())
+	}
+
+	nonRel := MustParse("<!ELEMENT a (b,b)><!ELEMENT b EMPTY>")
+	if nonRel.RelationalHeuristic() != RelNo {
+		t.Error("(b,b) should be detected non-relational")
+	}
+
+	disj := MustParse(`
+<!ELEMENT r (a, (b|c), (x|y|z))>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ELEMENT c EMPTY>
+<!ELEMENT x EMPTY>
+<!ELEMENT y EMPTY>
+<!ELEMENT z EMPTY>`)
+	if disj.IsSimple() {
+		t.Error("disjunctive example should not be simple")
+	}
+	if !disj.IsDisjunctive() {
+		t.Error("example should be disjunctive")
+	}
+	nd, err = disj.ND()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// N_r = |{p: last(p)=r}| * N_a * N_(b|c) * N_(x|y|z) = 1*1*2*3 = 6.
+	if nd != 6 {
+		t.Errorf("ND = %d, want 6", nd)
+	}
+	if disj.RelationalHeuristic() != RelYes {
+		t.Error("disjunctive DTD should be relational (Proposition 9)")
+	}
+}
+
+func TestCloneAndMutators(t *testing.T) {
+	d := parseTestdata(t, "dblp.dtd")
+	c := d.Clone()
+	if !Equal(d, c) {
+		t.Fatal("clone differs")
+	}
+	c.RemoveAttr("inproceedings", "year")
+	if err := c.AddAttr("issue", "year"); err != nil {
+		t.Fatal(err)
+	}
+	if Equal(d, c) {
+		t.Fatal("mutating clone changed the original comparison")
+	}
+	if d.Element("inproceedings").HasAttr("year") == false {
+		t.Fatal("original mutated through clone")
+	}
+	want := parseTestdata(t, "dblp_xnf.dtd")
+	if !Equal(c, want) {
+		t.Errorf("moving year does not give dblp_xnf.dtd:\n%s\nwant:\n%s", c, want)
+	}
+	if err := c.AddAttr("issue", "year"); err == nil {
+		t.Error("duplicate AddAttr should fail")
+	}
+	if err := c.AddAttr("nosuch", "x"); err == nil {
+		t.Error("AddAttr on undeclared element should fail")
+	}
+	c.RemoveAttr("nosuch", "x") // no-op, must not panic
+}
+
+func TestEquivalentModels(t *testing.T) {
+	a := MustParse("<!ELEMENT r ((a|b)*)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>")
+	b := MustParse("<!ELEMENT r (a*,b*)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>")
+	if Equal(a, b) {
+		t.Error("structurally different DTDs reported Equal")
+	}
+	if !EquivalentModels(a, b) {
+		t.Error("(a|b)* and a*,b* should be equivalent as simple models")
+	}
+}
+
+func TestSize(t *testing.T) {
+	d := parseTestdata(t, "courses.dtd")
+	if d.Size() <= d.Len() {
+		t.Errorf("Size = %d, suspiciously small", d.Size())
+	}
+}
+
+func TestStringOutputSyntax(t *testing.T) {
+	d := parseTestdata(t, "courses_xnf.dtd")
+	s := d.String()
+	for _, want := range []string{"<!ELEMENT courses (course*,info*)>", "<!ATTLIST number", "sno CDATA #REQUIRED"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q in:\n%s", want, s)
+		}
+	}
+}

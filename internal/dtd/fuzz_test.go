@@ -1,0 +1,56 @@
+package dtd
+
+import "testing"
+
+// FuzzParse checks the DTD parser never panics and that accepted inputs
+// survive a print/parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"<!ELEMENT a EMPTY>",
+		"<!ELEMENT a (b*)><!ELEMENT b (#PCDATA)>",
+		"<!ELEMENT a (b,c?)><!ELEMENT b EMPTY><!ELEMENT c EMPTY><!ATTLIST a x CDATA #REQUIRED>",
+		"<!-- comment --><!ELEMENT a EMPTY>",
+		"<!ELEMENT a ((b|c)*)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>",
+		"<!ELEMENT",
+		"<!ATTLIST a x (p|q) \"p\">",
+		"junk",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := Parse(input)
+		if err != nil {
+			return
+		}
+		again, err := Parse(d.String())
+		if err != nil {
+			t.Fatalf("print/parse failed for accepted input %q: %v\nprinted:\n%s", input, err, d)
+		}
+		if !Equal(d, again) {
+			t.Fatalf("round trip changed DTD for %q", input)
+		}
+	})
+}
+
+// FuzzParsePath checks the path parser never panics and round-trips.
+func FuzzParsePath(f *testing.F) {
+	for _, s := range []string{"a", "a.b.@c", "a.S", "", ".", "@x", "a..b", "a.@", "a.S.b"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := ParsePath(input)
+		if err != nil {
+			return
+		}
+		if p.String() != input {
+			t.Fatalf("round trip %q -> %q", input, p)
+		}
+		// Helpers must not panic on any accepted path.
+		_ = p.IsAttr()
+		_ = p.IsText()
+		_ = p.IsElem()
+		_ = p.Parent()
+		_ = p.Last()
+	})
+}

@@ -1,0 +1,266 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"xmlnorm/internal/regex"
+)
+
+// Parse reads a DTD from its standard textual syntax: a sequence of
+// <!ELEMENT name content> and <!ATTLIST name (attr type default)*>
+// declarations. The root element type is the first declared element.
+// Comments (<!-- ... -->) and blank lines are ignored.
+//
+// Supported content models: EMPTY, (#PCDATA), and regular expressions
+// over element names. Attribute types (CDATA, ID, NMTOKEN, enumerations,
+// ...) and defaults (#REQUIRED, #IMPLIED, #FIXED "v", "literal") are
+// accepted syntactically; the paper's data model treats every declared
+// attribute as required (Definition 3), which is what the library
+// enforces.
+func Parse(input string) (*DTD, error) {
+	s := &declScanner{input: input}
+	var d *DTD
+	for {
+		decl, err := s.next()
+		if err != nil {
+			return nil, err
+		}
+		if decl == "" {
+			break
+		}
+		kw, rest := splitKeyword(decl)
+		switch kw {
+		case "ELEMENT":
+			name, content, err := parseElementDecl(rest)
+			if err != nil {
+				return nil, err
+			}
+			if d == nil {
+				d = New(name)
+			}
+			if err := d.AddElement(content); err != nil {
+				return nil, err
+			}
+		case "ATTLIST":
+			if d == nil {
+				return nil, fmt.Errorf("dtd: ATTLIST before any ELEMENT declaration")
+			}
+			if err := parseAttlistDecl(d, rest); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("dtd: unsupported declaration <!%s ...>", kw)
+		}
+	}
+	if d == nil {
+		return nil, fmt.Errorf("dtd: no element declarations")
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// MustParse is Parse that panics on error; for tests and literals.
+func MustParse(input string) *DTD {
+	d, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// declScanner yields the contents of successive <!...> declarations.
+type declScanner struct {
+	input string
+	pos   int
+}
+
+// next returns the text between "<!" and ">" of the next declaration,
+// or "" at end of input.
+func (s *declScanner) next() (string, error) {
+	for {
+		for s.pos < len(s.input) && s.input[s.pos] != '<' {
+			c := s.input[s.pos]
+			if !unicode.IsSpace(rune(c)) {
+				return "", fmt.Errorf("dtd: unexpected character %q outside declarations at offset %d", c, s.pos)
+			}
+			s.pos++
+		}
+		if s.pos >= len(s.input) {
+			return "", nil
+		}
+		if strings.HasPrefix(s.input[s.pos:], "<!--") {
+			end := strings.Index(s.input[s.pos+4:], "-->")
+			if end < 0 {
+				return "", fmt.Errorf("dtd: unterminated comment at offset %d", s.pos)
+			}
+			s.pos += 4 + end + 3
+			continue
+		}
+		if !strings.HasPrefix(s.input[s.pos:], "<!") {
+			return "", fmt.Errorf("dtd: expected declaration at offset %d", s.pos)
+		}
+		start := s.pos + 2
+		end := strings.IndexByte(s.input[start:], '>')
+		if end < 0 {
+			return "", fmt.Errorf("dtd: unterminated declaration at offset %d", s.pos)
+		}
+		s.pos = start + end + 1
+		return s.input[start : start+end], nil
+	}
+}
+
+func splitKeyword(decl string) (string, string) {
+	decl = strings.TrimSpace(decl)
+	i := strings.IndexFunc(decl, unicode.IsSpace)
+	if i < 0 {
+		return decl, ""
+	}
+	return decl[:i], strings.TrimSpace(decl[i:])
+}
+
+// parseElementDecl parses "name content-model".
+func parseElementDecl(rest string) (string, *Element, error) {
+	name, content := splitToken(rest)
+	if name == "" || content == "" {
+		return "", nil, fmt.Errorf("dtd: malformed ELEMENT declaration %q", rest)
+	}
+	e := &Element{Name: name}
+	switch {
+	case content == "EMPTY":
+		e.Kind = EmptyContent
+	case content == "ANY":
+		return "", nil, fmt.Errorf("dtd: element %q: ANY content is outside the paper's data model", name)
+	case isPCDATA(content):
+		e.Kind = TextContent
+	default:
+		m, err := regex.Parse(content)
+		if err != nil {
+			return "", nil, fmt.Errorf("dtd: element %q: %v", name, err)
+		}
+		if m.Kind == regex.KindEmpty {
+			e.Kind = EmptyContent
+		} else {
+			e.Kind = ModelContent
+			e.Model = m
+		}
+	}
+	return name, e, nil
+}
+
+func isPCDATA(content string) bool {
+	c := strings.TrimSpace(content)
+	if !strings.HasPrefix(c, "(") || !strings.HasSuffix(c, ")") {
+		return c == "#PCDATA"
+	}
+	return strings.TrimSpace(c[1:len(c)-1]) == "#PCDATA"
+}
+
+func splitToken(s string) (string, string) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexFunc(s, unicode.IsSpace)
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimSpace(s[i:])
+}
+
+// parseAttlistDecl parses "elem (attr type default)+" and records the
+// attribute names on the element.
+func parseAttlistDecl(d *DTD, rest string) error {
+	elem, defs := splitToken(rest)
+	if elem == "" {
+		return fmt.Errorf("dtd: malformed ATTLIST declaration %q", rest)
+	}
+	if d.Element(elem) == nil {
+		return fmt.Errorf("dtd: ATTLIST for undeclared element %q", elem)
+	}
+	toks, err := tokenizeAttlist(defs)
+	if err != nil {
+		return err
+	}
+	i := 0
+	for i < len(toks) {
+		name := toks[i]
+		i++
+		if i >= len(toks) {
+			return fmt.Errorf("dtd: ATTLIST %s: attribute %q missing type", elem, name)
+		}
+		decl := AttrDecl{Type: toks[i]}
+		i++ // type token (CDATA, ID, enumeration, ...)
+		if i >= len(toks) {
+			return fmt.Errorf("dtd: ATTLIST %s: attribute %q missing default", elem, name)
+		}
+		def := toks[i]
+		i++
+		switch {
+		case def == "#REQUIRED" || def == "#IMPLIED":
+			decl.Default = def
+		case def == "#FIXED":
+			decl.Default = def
+			if i >= len(toks) {
+				return fmt.Errorf("dtd: ATTLIST %s: #FIXED without value", elem)
+			}
+			decl.Literal = toks[i]
+			i++ // the fixed literal
+		default:
+			decl.Literal = def // a plain default literal
+		}
+		if err := d.AddAttr(elem, name); err != nil {
+			return err
+		}
+		d.Element(elem).SetDecl(name, decl)
+	}
+	return nil
+}
+
+// tokenizeAttlist splits an ATTLIST body into tokens, keeping
+// parenthesized enumerations and quoted literals as single tokens.
+func tokenizeAttlist(s string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '(':
+			depth := 0
+			j := i
+			for ; j < len(s); j++ {
+				if s[j] == '(' {
+					depth++
+				}
+				if s[j] == ')' {
+					depth--
+					if depth == 0 {
+						break
+					}
+				}
+			}
+			if depth != 0 {
+				return nil, fmt.Errorf("dtd: unbalanced parentheses in ATTLIST %q", s)
+			}
+			toks = append(toks, s[i:j+1])
+			i = j + 1
+		case c == '"' || c == '\'':
+			j := strings.IndexByte(s[i+1:], c)
+			if j < 0 {
+				return nil, fmt.Errorf("dtd: unterminated literal in ATTLIST %q", s)
+			}
+			toks = append(toks, s[i:i+j+2])
+			i += j + 2
+		default:
+			j := i
+			for j < len(s) && !unicode.IsSpace(rune(s[j])) && s[j] != '(' {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}

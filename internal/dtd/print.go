@@ -1,0 +1,31 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the DTD in standard <!ELEMENT>/<!ATTLIST> syntax, in
+// declaration order. The output parses back to an equal DTD.
+func (d *DTD) String() string {
+	var b strings.Builder
+	for _, name := range d.order {
+		e := d.elems[name]
+		switch e.Kind {
+		case EmptyContent:
+			fmt.Fprintf(&b, "<!ELEMENT %s EMPTY>\n", name)
+		case TextContent:
+			fmt.Fprintf(&b, "<!ELEMENT %s (#PCDATA)>\n", name)
+		case ModelContent:
+			fmt.Fprintf(&b, "<!ELEMENT %s (%s)>\n", name, e.Model)
+		}
+		if len(e.Attrs) > 0 {
+			fmt.Fprintf(&b, "<!ATTLIST %s", name)
+			for _, a := range e.Attrs {
+				fmt.Fprintf(&b, "\n    %s %s", a, e.Decl(a).decl())
+			}
+			b.WriteString(">\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,165 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xmlnorm/internal/regex"
+)
+
+// randomDTD decodes a small random DTD from seed bits: a root over a
+// few child element types with random content-model operators and
+// attributes.
+func randomDTD(seed uint64) *DTD {
+	next := func(n uint64) uint64 {
+		v := seed % n
+		seed = seed/n ^ (seed * 0x9E3779B97F4A7C15)
+		return v
+	}
+	mults := []string{"", "?", "+", "*"}
+	nChildren := int(next(3)) + 1
+	var b strings.Builder
+	var rootParts []string
+	for i := 0; i < nChildren; i++ {
+		rootParts = append(rootParts, fmt.Sprintf("e%d%s", i, mults[next(4)]))
+	}
+	// Occasionally a disjunction of two extra leaves.
+	disj := next(3) == 0
+	if disj {
+		rootParts = append(rootParts, "(x|y)")
+	}
+	fmt.Fprintf(&b, "<!ELEMENT root (%s)>\n", strings.Join(rootParts, ","))
+	for i := 0; i < nChildren; i++ {
+		switch next(3) {
+		case 0:
+			fmt.Fprintf(&b, "<!ELEMENT e%d EMPTY>\n", i)
+		case 1:
+			fmt.Fprintf(&b, "<!ELEMENT e%d (#PCDATA)>\n", i)
+		default:
+			fmt.Fprintf(&b, "<!ELEMENT e%d (leaf%d*)>\n", i, i)
+			fmt.Fprintf(&b, "<!ELEMENT leaf%d EMPTY>\n", i)
+			fmt.Fprintf(&b, "<!ATTLIST leaf%d v CDATA #REQUIRED>\n", i)
+		}
+		if next(2) == 0 {
+			fmt.Fprintf(&b, "<!ATTLIST e%d k CDATA #REQUIRED>\n", i)
+		}
+	}
+	if disj {
+		b.WriteString("<!ELEMENT x EMPTY>\n<!ELEMENT y EMPTY>\n")
+	}
+	return MustParse(b.String())
+}
+
+// TestQuickPrintParseRoundTrip: String() output reparses to an equal
+// DTD.
+func TestQuickPrintParseRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := randomDTD(seed)
+		again, err := Parse(d.String())
+		if err != nil {
+			t.Logf("reparse: %v", err)
+			return false
+		}
+		return Equal(d, again)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPathsConsistent: every enumerated path satisfies IsPath, and
+// mangled variants do not.
+func TestQuickPathsConsistent(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := randomDTD(seed)
+		paths, err := d.Paths()
+		if err != nil {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, p := range paths {
+			if seen[p.String()] {
+				t.Logf("duplicate path %s", p)
+				return false
+			}
+			seen[p.String()] = true
+			if !d.IsPath(p) {
+				t.Logf("enumerated path %s rejected by IsPath", p)
+				return false
+			}
+			// A mangled last step must be rejected.
+			bad := p.Clone()
+			bad[len(bad)-1] = "zz" + bad[len(bad)-1]
+			if d.IsPath(bad) {
+				t.Logf("mangled path %s accepted", bad)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCloneIndependent: mutating a clone never affects the
+// original.
+func TestQuickCloneIndependent(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := randomDTD(seed)
+		before := d.String()
+		c := d.Clone()
+		for _, name := range c.Names() {
+			c.RemoveAttr(name, "k")
+			c.RemoveAttr(name, "v")
+		}
+		_ = c.AddAttr(c.Root(), "fresh")
+		return d.String() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSimpleImpliesDisjunctive: the Section 7 hierarchy — every
+// simple DTD is disjunctive, and every disjunctive DTD is relational by
+// the heuristic (Proposition 9).
+func TestQuickSimpleImpliesDisjunctive(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := randomDTD(seed)
+		if d.IsSimple() && !d.IsDisjunctive() {
+			return false
+		}
+		if d.IsDisjunctive() && d.RelationalHeuristic() != RelYes {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMinWordConforms: building a document from each content
+// model's minimal word yields words accepted by the model.
+func TestQuickMinWordConforms(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := randomDTD(seed)
+		for _, name := range d.Names() {
+			e := d.Element(name)
+			if e.Kind != ModelContent {
+				continue
+			}
+			w := e.Model.MinWord()
+			if !regex.Compile(e.Model).Match(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,76 @@
+package dtd
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRealWorldDTDs parses a corpus of simplified real-world DTDs
+// (testdata/realworld) and checks each against the Section 7 taxonomy.
+// The corpus exercises every content-model idiom the parser supports:
+// long optional tails (RSS), ID attributes (newspaper), non-disjunctive
+// unions with shared letters across branches (tvschedule), recursion-
+// free section nesting with starred unions (docbook).
+func TestRealWorldDTDs(t *testing.T) {
+	cases := []struct {
+		file        string
+		root        string
+		simple      bool
+		disjunctive bool
+		recursive   bool
+	}{
+		// RSS: every model is a concatenation of distinct names with
+		// ?, *, + — simple.
+		{"rss091.dtd", "rss", true, true, false},
+		// Newspaper: plain sequences — simple.
+		{"newspaper.dtd", "newspaper", true, true, false},
+		// TV schedule: ((date, holiday) | (date, programslot+)) repeats
+		// "date" across union branches and is not permutation-equivalent
+		// to a trivial expression — neither simple nor disjunctive.
+		{"tvschedule.dtd", "tvschedule", false, false, false},
+		// DocBook fragment: (sect1 | para)* is a starred union — simple.
+		{"docbook.dtd", "book", true, true, false},
+		// Playlist: plain sequences — simple.
+		{"playlist.dtd", "playlist", true, true, false},
+	}
+	for _, c := range cases {
+		b, err := os.ReadFile(filepath.Join("../../testdata/realworld", c.file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Parse(string(b))
+		if err != nil {
+			t.Errorf("%s: parse: %v", c.file, err)
+			continue
+		}
+		if d.Root() != c.root {
+			t.Errorf("%s: root = %q, want %q", c.file, d.Root(), c.root)
+		}
+		if got := d.IsSimple(); got != c.simple {
+			t.Errorf("%s: simple = %v, want %v", c.file, got, c.simple)
+		}
+		if got := d.IsDisjunctive(); got != c.disjunctive {
+			t.Errorf("%s: disjunctive = %v, want %v", c.file, got, c.disjunctive)
+		}
+		if got := d.IsRecursive(); got != c.recursive {
+			t.Errorf("%s: recursive = %v, want %v", c.file, got, c.recursive)
+		}
+		// Round trip.
+		again, err := Parse(d.String())
+		if err != nil || !Equal(d, again) {
+			t.Errorf("%s: print/parse round trip failed (%v)", c.file, err)
+		}
+		// Path enumeration terminates and is consistent.
+		paths, err := d.Paths()
+		if err != nil {
+			t.Errorf("%s: paths: %v", c.file, err)
+			continue
+		}
+		for _, p := range paths {
+			if !d.IsPath(p) {
+				t.Errorf("%s: enumerated path %s rejected", c.file, p)
+			}
+		}
+	}
+}

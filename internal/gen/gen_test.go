@@ -1,0 +1,145 @@
+package gen
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/xfd"
+	"xmlnorm/internal/xmltree"
+	"xmlnorm/internal/xnf"
+)
+
+func TestChainDTD(t *testing.T) {
+	d := ChainDTD(3, 2)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsSimple() {
+		t.Error("chain DTD should be simple")
+	}
+	paths, err := d.Paths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 element paths + 3 levels × 2 attrs = 10.
+	if len(paths) != 10 {
+		t.Errorf("paths = %d, want 10", len(paths))
+	}
+	sigma := ChainFDs(3, 2)
+	for _, f := range sigma {
+		if err := f.Validate(d); err != nil {
+			t.Errorf("generated FD invalid: %v", err)
+		}
+	}
+	// The per-level FD3 pattern is anomalous at every level except the
+	// first: there the key {r, @a1_0} → c0 has the always-shared root on
+	// its LHS, so @a1_0 determines the c0 vertex and rescues the design.
+	ok, anomalies, err := xnf.Check(xnf.Spec{DTD: d, FDs: sigma})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || len(anomalies) != 2 {
+		t.Errorf("expected 2 anomalies, got %v", anomalies)
+	}
+}
+
+func TestWideDTD(t *testing.T) {
+	d := WideDTD(5, 2)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsSimple() {
+		t.Error("wide DTD should be simple")
+	}
+	if d.Len() != 6 {
+		t.Errorf("elements = %d", d.Len())
+	}
+}
+
+func TestDisjunctiveDTD(t *testing.T) {
+	d := DisjunctiveDTD(3, 2)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.IsSimple() {
+		t.Error("disjunctive DTD should not be simple")
+	}
+	if !d.IsDisjunctive() {
+		t.Error("should be disjunctive")
+	}
+	nd, err := d.ND()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd != 8 { // branches^groups = 2^3
+		t.Errorf("N_D = %d, want 8", nd)
+	}
+}
+
+func TestDocumentConforms(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []*dtd.DTD{ChainDTD(3, 2), WideDTD(4, 1), DisjunctiveDTD(2, 3)} {
+		for i := 0; i < 20; i++ {
+			doc, err := Document(d, rng, 3, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := xmltree.Conforms(doc, d); err != nil {
+				t.Fatalf("generated document does not conform: %v\n%s", err, doc)
+			}
+		}
+	}
+}
+
+func TestUniversityDocument(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	doc := University(10, 5, 20, 4, rng)
+	b, err := os.ReadFile(filepath.Join("../../testdata", "courses.dtd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dtd.MustParse(string(b))
+	if err := xmltree.Conforms(doc, d); err != nil {
+		t.Fatalf("university document does not conform: %v", err)
+	}
+	// FD1-FD3 hold by construction.
+	sigma := []xfd.FD{
+		xfd.MustParse("courses.course.@cno -> courses.course"),
+		xfd.MustParse("courses.course, courses.course.taken_by.student.@sno -> courses.course.taken_by.student"),
+		xfd.MustParse("courses.course.taken_by.student.@sno -> courses.course.taken_by.student.name.S"),
+	}
+	if !xfd.SatisfiesAll(doc, sigma) {
+		t.Error("university document violates FD1-FD3")
+	}
+}
+
+func TestDBLPDocument(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	doc := DBLP(3, 4, 5, rng)
+	b, err := os.ReadFile(filepath.Join("../../testdata", "dblp.dtd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dtd.MustParse(string(b))
+	if err := xmltree.Conforms(doc, d); err != nil {
+		t.Fatalf("DBLP document does not conform: %v", err)
+	}
+	sigma := []xfd.FD{
+		xfd.MustParse("db.conf.issue -> db.conf.issue.inproceedings.@year"),
+		xfd.MustParse("db.conf.issue.inproceedings.@key -> db.conf.issue.inproceedings"),
+	}
+	if !xfd.SatisfiesAll(doc, sigma) {
+		t.Error("DBLP document violates FD5 / key")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := University(5, 3, 10, 3, rand.New(rand.NewSource(9)))
+	b := University(5, 3, 10, 3, rand.New(rand.NewSource(9)))
+	if a.Canonical() != b.Canonical() {
+		t.Error("same seed should give the same document")
+	}
+}

@@ -1,0 +1,326 @@
+package implication
+
+import (
+	"xmlnorm/internal/regex"
+)
+
+// The closure engine decides FD implication for disjunctive DTDs by
+// reasoning about a hypothetical pair (t1, t2) of maximal tree tuples of
+// some tree T ⊨ (D, Σ) that would witness non-implication of S → p:
+// t1.S = t2.S ≠ ⊥ and t1.p ≠ t2.p (w.l.o.g. t1.p ≠ ⊥).
+//
+// For each path q it maintains three propositions:
+//
+//	eq[q]  — t1.q = t2.q (⊥ = ⊥ counts as equal; for element paths,
+//	         equality of vertices)
+//	nn1[q] — t1.q ≠ ⊥
+//	nn2[q] — t2.q ≠ ⊥
+//
+// and closes them under rules that hold in every tree conforming to the
+// DTD and satisfying Σ (see doc.go for the full derivation):
+//
+//	(R1) nnᵢ[q.x] ⇒ nnᵢ[q]                       (⊥ propagates down)
+//	(R2) nnᵢ[q] ⇒ nnᵢ[q.x] for required children  (maximality)
+//	(R3) eq[q] ⇒ eq[q.x] for at-most-once children (shared vertex)
+//	(R4) eq[q] ∧ nnᵢ[q] ⇒ nn_j[q]                 (equal values share nullness)
+//	(R5) eq[q.x] ∧ nn[q.x] ⇒ eq[q] for element paths (unique parents)
+//	(R6) FDs of Σ fire between t1, t2 — or between one of them and a
+//	     *crossover* tuple obtained by swapping whole branches below a
+//	     shared ancestor, which relaxes the firing condition for LHS
+//	     paths under a swappable branch from "equal and non-null" to
+//	     "non-null in the source tuple".
+//
+// Disjunction factors are handled by enumerating, per group and per
+// tuple, which branch the tuple's node takes (an assignment); unchosen
+// branches are forced to ⊥ and a shared vertex with divergent branch
+// choices makes the assignment infeasible.
+//
+// The query S → p is implied iff every feasible assignment forces eq[p].
+
+// assignment chooses, for each disjunction group and each of the two
+// tuples, the branch taken: a member node id, or -1 for the ε branch.
+type assignment struct {
+	b1, b2 []int // indexed by group id
+}
+
+// state is the proposition state of one closure run.
+type state struct {
+	sk         *skeleton
+	sigma      []compiledFD
+	asg        assignment
+	eq         []bool
+	nn1, nn2   []bool
+	forced1    []bool // forced ⊥ for t1 under the assignment
+	forced2    []bool
+	maxOk      []int // per node: deepest element ancestor usable as a swap point (0 = none)
+	infeasible bool
+}
+
+// compiledFD is an FD with paths resolved to skeleton ids. lcp[i] is the
+// length of the common chain prefix of lhs[i] and rhs, precomputed so
+// that the crossover ("coverable") test in fires() is O(1): a swap point
+// u on the chain of lhs[i] avoids the RHS exactly when its depth exceeds
+// that common prefix.
+type compiledFD struct {
+	lhs []int
+	rhs int
+	lcp []int
+}
+
+// newState initializes the propositions for hypothesis hyp (path ids,
+// asserted equal and non-null in both tuples) and goal (asserted
+// non-null in t1, so that a violation t1.goal ≠ t2.goal is possible).
+func newState(sk *skeleton, sigma []compiledFD, asg assignment, hyp []int, goal int) *state {
+	n := len(sk.nodes)
+	s := &state{
+		sk: sk, sigma: sigma, asg: asg,
+		eq:  make([]bool, n),
+		nn1: make([]bool, n), nn2: make([]bool, n),
+		forced1: make([]bool, n), forced2: make([]bool, n),
+		maxOk: make([]int, n),
+	}
+	s.computeForced()
+	s.markEq(0) // the root: t1.r = t2.r = root vertex
+	s.markNN(0, true)
+	s.markNN(0, false)
+	for _, h := range hyp {
+		s.markEq(h)
+		s.markNN(h, true)
+		s.markNN(h, false)
+	}
+	for _, p := range sk.chain(goal) {
+		s.markNN(p, true)
+	}
+	return s
+}
+
+// computeForced derives the forced-⊥ sets from the assignment: each
+// unchosen branch of each group, together with its whole subtree.
+func (s *state) computeForced() {
+	var forceDown func(forced []bool, id int)
+	forceDown = func(forced []bool, id int) {
+		if forced[id] {
+			return
+		}
+		forced[id] = true
+		for _, k := range s.sk.nodes[id].kids {
+			forceDown(forced, k)
+		}
+	}
+	for gi, g := range s.sk.groups {
+		for _, m := range g.members {
+			if s.asg.b1[gi] != m {
+				forceDown(s.forced1, m)
+			}
+			if s.asg.b2[gi] != m {
+				forceDown(s.forced2, m)
+			}
+		}
+	}
+}
+
+func (s *state) markEq(id int) {
+	if !s.eq[id] {
+		s.eq[id] = true
+	}
+}
+
+func (s *state) markNN(id int, first bool) {
+	nn, forced := s.nn1, s.forced1
+	if !first {
+		nn, forced = s.nn2, s.forced2
+	}
+	if nn[id] {
+		return
+	}
+	if forced[id] {
+		s.infeasible = true
+		return
+	}
+	nn[id] = true
+}
+
+// computeMaxOk refreshes, for every node, the depth of the deepest
+// element ancestor (or the node itself) whose parent is a shared
+// non-null vertex — the candidate branch-swap points of the crossover
+// rule. One pre-order sweep; skeleton nodes are stored parents-first.
+func (s *state) computeMaxOk() {
+	for _, n := range s.sk.nodes {
+		best := 0
+		if n.parent >= 0 {
+			best = s.maxOk[n.parent]
+			if n.kind == elemPath && s.eq[n.parent] && s.nn1[n.parent] && s.nn2[n.parent] {
+				if d := len(n.path); d > best {
+					best = d
+				}
+			}
+		}
+		s.maxOk[n.id] = best
+	}
+}
+
+// run closes the propositions under the rules, returning false when the
+// assignment is infeasible.
+func (s *state) run() bool {
+	for changed := true; changed && !s.infeasible; {
+		changed = false
+		s.computeMaxOk()
+		step := func(did bool) {
+			if did {
+				changed = true
+			}
+		}
+		for _, n := range s.sk.nodes {
+			// R1: non-nullness propagates to the parent.
+			if n.parent >= 0 {
+				if s.nn1[n.id] && !s.nn1[n.parent] {
+					s.markNN(n.parent, true)
+					step(true)
+				}
+				if s.nn2[n.id] && !s.nn2[n.parent] {
+					s.markNN(n.parent, false)
+					step(true)
+				}
+			}
+			// R4: equal values share nullness.
+			if s.eq[n.id] {
+				if s.nn1[n.id] && !s.nn2[n.id] {
+					s.markNN(n.id, false)
+					step(true)
+				}
+				if s.nn2[n.id] && !s.nn1[n.id] {
+					s.markNN(n.id, true)
+					step(true)
+				}
+			}
+			// R5: a shared non-null element vertex has a shared parent.
+			if n.kind == elemPath && n.parent >= 0 && s.eq[n.id] && s.nn1[n.id] && !s.eq[n.parent] {
+				s.markEq(n.parent)
+				step(true)
+			}
+			// R2 and R3: downward propagation to children.
+			for _, k := range n.kids {
+				kid := s.sk.nodes[k]
+				if required(s, n.id, kid) {
+					if s.nn1[n.id] && !s.nn1[k] {
+						s.markNN(k, true)
+						step(true)
+					}
+					if s.nn2[n.id] && !s.nn2[k] {
+						s.markNN(k, false)
+						step(true)
+					}
+				} else if kid.group >= 0 {
+					// Chosen group branches are required per tuple.
+					if s.asg.b1[kid.group] == k && s.nn1[n.id] && !s.nn1[k] {
+						s.markNN(k, true)
+						step(true)
+					}
+					if s.asg.b2[kid.group] == k && s.nn2[n.id] && !s.nn2[k] {
+						s.markNN(k, false)
+						step(true)
+					}
+				}
+				if s.eq[n.id] && !s.eq[k] && atMostOnce(kid) {
+					s.markEq(k)
+					step(true)
+				}
+				// R7 (maximality): a shared vertex that has a child with
+				// some label in one tuple has children with that label in
+				// the tree, so the other maximal tuple must also contain
+				// one (not necessarily the same one).
+				if kid.kind == elemPath && s.eq[n.id] && s.nn1[n.id] && s.nn2[n.id] {
+					if s.nn1[k] && !s.nn2[k] {
+						s.markNN(k, false)
+						step(true)
+					}
+					if s.nn2[k] && !s.nn1[k] {
+						s.markNN(k, true)
+						step(true)
+					}
+				}
+			}
+			// Feasibility: a shared non-null vertex cannot take two
+			// different group branches.
+			if n.kind == elemPath && s.eq[n.id] && s.nn1[n.id] && s.nn2[n.id] {
+				for _, g := range s.sk.groups {
+					if g.parent == n.id && s.asg.b1[g.id] != s.asg.b2[g.id] {
+						s.infeasible = true
+					}
+				}
+			}
+			if s.infeasible {
+				return false
+			}
+		}
+		// R6: FD firing, in both orientations.
+		for _, fd := range s.sigma {
+			if s.eq[fd.rhs] {
+				continue
+			}
+			if s.fires(fd, true) || s.fires(fd, false) {
+				s.markEq(fd.rhs)
+				changed = true
+			}
+		}
+	}
+	return !s.infeasible
+}
+
+// required reports whether the child is present whenever the parent is:
+// attributes, text content, and element children with multiplicity one
+// or plus (group members are handled separately, per assignment).
+func required(s *state, parent int, kid *pnode) bool {
+	switch kid.kind {
+	case attrPath, textPath:
+		return true
+	}
+	if kid.group >= 0 {
+		return false
+	}
+	return kid.mult == regex.One || kid.mult == regex.PlusM
+}
+
+// atMostOnce reports whether a node can have at most one child on this
+// path step, so vertex equality of parents propagates to the children:
+// attributes, text, element children with multiplicity one or ?, and
+// all disjunction-group members.
+func atMostOnce(kid *pnode) bool {
+	switch kid.kind {
+	case attrPath, textPath:
+		return true
+	}
+	if kid.group >= 0 {
+		return true
+	}
+	return kid.mult == regex.One || kid.mult == regex.OptM
+}
+
+// fires decides whether the FD fires for the pair via a crossover with
+// source tuple src (true = t1): every LHS path must be non-null in both
+// tuples and equal — or coverable by a branch swap below a shared
+// ancestor that does not contain the RHS, in which case non-nullness in
+// the source tuple alone suffices.
+func (s *state) fires(fd compiledFD, src bool) bool {
+	nnSrc := s.nn1
+	if !src {
+		nnSrc = s.nn2
+	}
+	for i, l := range fd.lhs {
+		if s.eq[l] && s.nn1[l] && s.nn2[l] {
+			continue
+		}
+		if !nnSrc[l] {
+			return false
+		}
+		// Coverable: some element-path ancestor u of l (possibly l
+		// itself) is a swap point below a shared non-null vertex and
+		// does not contain the RHS. The swap points on l's chain have
+		// their depths folded into maxOk; u avoids the RHS exactly when
+		// deeper than the common prefix of l and the RHS.
+		if s.maxOk[l] <= fd.lcp[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,157 @@
+package implication
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/xfd"
+)
+
+// randomSpec builds a small random DTD with simple content models and an
+// optional disjunction, plus a random FD set. The shapes are kept tiny
+// so the brute-force ground truth stays within bounds.
+func randomSpec(rng *rand.Rand) (*dtd.DTD, []xfd.FD, bool) {
+	mults := []string{"", "?", "+", "*"}
+	var b strings.Builder
+	// Root with one or two children; children with up to two leaves.
+	nChildren := 1 + rng.Intn(2)
+	nLeaves := 1 + rng.Intn(2)
+	useDisj := rng.Intn(4) == 0
+
+	var rootParts []string
+	for c := 0; c < nChildren; c++ {
+		rootParts = append(rootParts, fmt.Sprintf("c%d%s", c, mults[rng.Intn(4)]))
+	}
+	fmt.Fprintf(&b, "<!ELEMENT r (%s)>\n", strings.Join(rootParts, ","))
+	for c := 0; c < nChildren; c++ {
+		var leafParts []string
+		if useDisj && c == 0 && nLeaves == 2 {
+			opt := ""
+			if rng.Intn(2) == 0 {
+				opt = "?" // nullable disjunction group
+			}
+			leafParts = append(leafParts, fmt.Sprintf("(l%d0|l%d1)%s", c, c, opt))
+		} else {
+			for l := 0; l < nLeaves; l++ {
+				leafParts = append(leafParts, fmt.Sprintf("l%d%d%s", c, l, mults[rng.Intn(4)]))
+			}
+		}
+		fmt.Fprintf(&b, "<!ELEMENT c%d (%s)>\n", c, strings.Join(leafParts, ","))
+		if rng.Intn(2) == 0 {
+			fmt.Fprintf(&b, "<!ATTLIST c%d k CDATA #REQUIRED>\n", c)
+		}
+		for l := 0; l < nLeaves; l++ {
+			fmt.Fprintf(&b, "<!ELEMENT l%d%d EMPTY>\n", c, l)
+			if rng.Intn(2) == 0 {
+				fmt.Fprintf(&b, "<!ATTLIST l%d%d v CDATA #REQUIRED>\n", c, l)
+			}
+		}
+	}
+	d, err := dtd.Parse(b.String())
+	if err != nil {
+		panic(err)
+	}
+	paths, err := d.Paths()
+	if err != nil {
+		panic(err)
+	}
+	// Random Σ: up to two FDs over random paths.
+	var sigma []xfd.FD
+	for i := 0; i < rng.Intn(3); i++ {
+		nl := 1 + rng.Intn(2)
+		var f xfd.FD
+		for j := 0; j < nl; j++ {
+			f.LHS = append(f.LHS, paths[rng.Intn(len(paths))])
+		}
+		f.RHS = []dtd.Path{paths[rng.Intn(len(paths))]}
+		sigma = append(sigma, f)
+	}
+	return d, sigma, useDisj
+}
+
+// TestRandomCrossValidation compares the closure decider against the
+// brute-force semantic checker on hundreds of random (DTD, Σ, query)
+// triples. Any disagreement is a bug in the closure rules (if the brute
+// force found a counterexample) or evidence of a spurious scenario (the
+// closure must certify its refutations, so those cannot disagree
+// silently).
+func TestRandomCrossValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation is slow")
+	}
+	rng := rand.New(rand.NewSource(20020603)) // PODS 2002 started June 3
+	specs, queriesRun, skipped := 0, 0, 0
+	for specs < 120 {
+		d, sigma, _ := randomSpec(rng)
+		paths, _ := d.Paths()
+		if len(paths) > 12 {
+			continue
+		}
+		specs++
+		for qi := 0; qi < 6; qi++ {
+			var q xfd.FD
+			q.LHS = []dtd.Path{paths[rng.Intn(len(paths))]}
+			if rng.Intn(3) == 0 {
+				q.LHS = append(q.LHS, paths[rng.Intn(len(paths))])
+			}
+			q.RHS = []dtd.Path{paths[rng.Intn(len(paths))]}
+			fast, err := Implies(d, sigma, q)
+			if err != nil {
+				t.Fatalf("Implies error on\n%s\nΣ=%v q=%s: %v", d, sigma, q, err)
+			}
+			slow, err := BruteForce(d, sigma, q, Bounds{MaxValuePositions: 8, MaxTrees: 120000})
+			if errors.Is(err, ErrBoundsExceeded) {
+				skipped++
+				continue
+			}
+			if err != nil {
+				t.Fatalf("BruteForce error: %v", err)
+			}
+			queriesRun++
+			if fast.Implied != slow.Implied {
+				t.Errorf("disagreement on\n%sΣ = %s\nq = %s\nclosure = %v, brute force = %v",
+					d, xfd.FormatSet(sigma), q, fast.Implied, slow.Implied)
+				if slow.Counterexample != nil {
+					t.Logf("brute-force counterexample:\n%s", slow.Counterexample)
+				}
+			}
+			if !fast.Implied && !fast.Verified {
+				t.Errorf("unverified refutation for %s on\n%s", q, d)
+			}
+		}
+	}
+	t.Logf("%d specs, %d queries cross-validated, %d skipped for bounds", specs, queriesRun, skipped)
+	if queriesRun < 300 {
+		t.Errorf("only %d queries were actually compared; generator or bounds too tight", queriesRun)
+	}
+}
+
+// TestClosureIdempotent: re-running a query gives the same answer
+// (guards against state leakage in the engine).
+func TestClosureIdempotent(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT r (a+, b*)>
+<!ELEMENT a EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+<!ELEMENT b EMPTY>
+<!ATTLIST b y CDATA #REQUIRED>`)
+	sigma := []xfd.FD{xfd.MustParse("r.a.@x -> r.b.@y")}
+	eng, err := NewEngine(d, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		a1, err := eng.Implies(xfd.MustParse("r -> r.b.@y"))
+		if err != nil || !a1.Implied {
+			t.Fatalf("run %d: %+v %v", i, a1, err)
+		}
+		a2, err := eng.Implies(xfd.MustParse("r -> r.a.@x"))
+		if err != nil || a2.Implied {
+			t.Fatalf("run %d: %+v %v", i, a2, err)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package implication
+
+import (
+	"testing"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/xfd"
+	"xmlnorm/internal/xmltree"
+)
+
+// TestDecideDispatch: the dispatcher picks the closure for disjunctive
+// DTDs and the brute force for the paper's FAQ-style models.
+func TestDecideDispatch(t *testing.T) {
+	simple := dtd.MustParse(`
+<!ELEMENT r (a*)>
+<!ELEMENT a EMPTY>
+<!ATTLIST a k CDATA #REQUIRED v CDATA #REQUIRED>`)
+	ans, method, err := Decide(simple, []xfd.FD{xfd.MustParse("r.a.@k -> r.a.@v")},
+		xfd.MustParse("r.a.@k -> r.a.@v"), Bounds{})
+	if err != nil || !ans.Implied || method != MethodClosure {
+		t.Errorf("simple: %+v %v %v", ans, method, err)
+	}
+
+	faq := dtd.MustParse(`
+<!ELEMENT s (logo?, (qna+ | q+))>
+<!ATTLIST s k CDATA #REQUIRED>
+<!ELEMENT logo EMPTY>
+<!ELEMENT qna EMPTY>
+<!ATTLIST qna t CDATA #REQUIRED>
+<!ELEMENT q EMPTY>`)
+	if faq.IsDisjunctive() {
+		t.Fatal("fixture should not be disjunctive")
+	}
+	// s → s.logo is trivial structure (logo at most once).
+	ans, method, err = Decide(faq, nil, xfd.MustParse("s -> s.logo"), Bounds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if method != MethodBruteForce {
+		t.Errorf("method = %v, want bruteforce", method)
+	}
+	if !ans.Implied {
+		t.Error("s -> s.logo should be implied (at most one logo)")
+	}
+	// s.@k → s.qna is not implied (many qna children possible).
+	ans, _, err = Decide(faq, nil, xfd.MustParse("s.@k -> s.qna"), Bounds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Implied {
+		t.Error("s.@k -> s.qna should not be implied")
+	}
+	if ans.Counterexample == nil || !ans.Verified {
+		t.Error("brute-force refutation should carry a verified counterexample")
+	}
+}
+
+// TestSatisfactionOnRecursiveDTD: FD *satisfaction* needs no path
+// enumeration, so it works on documents of recursive DTDs; only
+// implication and normalization require non-recursive ones.
+func TestSatisfactionOnRecursiveDTD(t *testing.T) {
+	// Definition 1 assumes w.l.o.g. that the root type does not occur in
+	// content models, so the recursion goes through a non-root type.
+	d := dtd.MustParse(`
+<!ELEMENT bom (part*)>
+<!ELEMENT part (part*)>
+<!ATTLIST part
+    pid CDATA #REQUIRED
+    supplier CDATA #REQUIRED>`)
+	if !d.IsRecursive() {
+		t.Fatal("fixture should be recursive")
+	}
+	doc := xmltree.MustParseString(`
+<bom>
+  <part pid="p1" supplier="acme">
+    <part pid="p2" supplier="acme">
+      <part pid="p3" supplier="globex"/>
+    </part>
+  </part>
+</bom>`)
+	if err := xmltree.Conforms(doc, d); err != nil {
+		t.Fatal(err)
+	}
+	// pid determines supplier at depth 2: holds in this document.
+	f := xfd.MustParse("bom.part.part.@pid -> bom.part.part.@supplier")
+	if err := f.Validate(d); err != nil {
+		t.Fatalf("paths over recursive DTDs validate step-wise: %v", err)
+	}
+	if !xfd.Satisfies(doc, f) {
+		t.Error("FD should hold on this document")
+	}
+	// Make two depth-2 parts share a pid with different suppliers.
+	doc2 := xmltree.MustParseString(`
+<bom>
+  <part pid="p1" supplier="acme">
+    <part pid="p2" supplier="acme"/>
+    <part pid="p2" supplier="globex"/>
+  </part>
+</bom>`)
+	if xfd.Satisfies(doc2, f) {
+		t.Error("FD should fail on the conflicting document")
+	}
+	// Implication over the recursive DTD is rejected with a clear error.
+	if _, err := Implies(d, nil, f); err == nil {
+		t.Error("implication over a recursive DTD should error")
+	}
+}

@@ -1,0 +1,147 @@
+package implication
+
+import (
+	"testing"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/xfd"
+	"xmlnorm/internal/xmltree"
+)
+
+// bomDTD is a recursive part hierarchy (recursion below a non-root
+// type, per Definition 1's root assumption).
+func bomDTD(t *testing.T) *dtd.DTD {
+	t.Helper()
+	d := dtd.MustParse(`
+<!ELEMENT bom (part*)>
+<!ELEMENT part (part*)>
+<!ATTLIST part
+    pid CDATA #REQUIRED
+    supplier CDATA #REQUIRED>`)
+	if !d.IsRecursive() {
+		t.Fatal("fixture must be recursive")
+	}
+	return d
+}
+
+func TestImpliesBoundedRecursive(t *testing.T) {
+	d := bomDTD(t)
+	sigma := []xfd.FD{
+		// pid keys the top-level parts.
+		xfd.MustParse("bom.part.@pid -> bom.part"),
+	}
+	// The key propagates: pid determines the top-level supplier.
+	ans, err := ImpliesBounded(d, sigma,
+		xfd.MustParse("bom.part.@pid -> bom.part.@supplier"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Implied {
+		t.Error("top-level key should determine the supplier")
+	}
+	// But not the second level: two sub-parts of different parents can
+	// share a pid with different suppliers.
+	ans, err = ImpliesBounded(d, sigma,
+		xfd.MustParse("bom.part.part.@pid -> bom.part.part.@supplier"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Implied {
+		t.Error("second-level pids are unconstrained")
+	}
+	if ans.Counterexample == nil || !ans.Verified {
+		t.Fatal("refutation must be verified")
+	}
+	// The counterexample really is a conforming recursive document.
+	if err := xmltree.ConformsUnordered(ans.Counterexample, d); err != nil {
+		t.Errorf("counterexample does not conform: %v", err)
+	}
+
+	// Trivial structure works across the recursion: a part determines
+	// its own attributes at any unfolded depth.
+	ans, err = ImpliesBounded(d, nil,
+		xfd.MustParse("bom.part.part.part -> bom.part.part.part.@pid"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Implied {
+		t.Error("attributes are total at every depth")
+	}
+	// Prefix triviality too.
+	ans, err = ImpliesBounded(d, nil,
+		xfd.MustParse("bom.part.part -> bom.part"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Implied {
+		t.Error("prefixes are determined")
+	}
+}
+
+func TestImpliesBoundedDepthGuard(t *testing.T) {
+	d := bomDTD(t)
+	q := xfd.MustParse("bom.part.part.@pid -> bom.part.part.@supplier")
+	if _, err := ImpliesBounded(d, nil, q, 2); err == nil {
+		t.Error("bound shallower than the query should error")
+	}
+}
+
+// TestImpliesBoundedAgreesOnNonRecursive: on a non-recursive DTD the
+// bounded engine with a generous bound agrees with the exact one.
+func TestImpliesBoundedAgreesOnNonRecursive(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT r (a+, b*)>
+<!ELEMENT a EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+<!ELEMENT b EMPTY>
+<!ATTLIST b y CDATA #REQUIRED>`)
+	sigma := []xfd.FD{xfd.MustParse("r.a.@x -> r.b.@y")}
+	paths, err := d.Paths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range paths {
+		for _, r := range paths {
+			q := xfd.FD{LHS: []dtd.Path{l}, RHS: []dtd.Path{r}}
+			exact, err := Implies(d, sigma, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bounded, err := ImpliesBounded(d, sigma, q, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if exact.Implied != bounded.Implied {
+				t.Errorf("disagreement on %s: exact=%v bounded=%v", q, exact.Implied, bounded.Implied)
+			}
+		}
+	}
+}
+
+// TestBoundedRelativeKeysRecursive: relative keys at two unfolded
+// levels chain like in the chain-DTD tests.
+func TestBoundedRelativeKeysRecursive(t *testing.T) {
+	d := bomDTD(t)
+	sigma := []xfd.FD{
+		xfd.MustParse("bom.part.@pid -> bom.part"),
+		xfd.MustParse("bom.part, bom.part.part.@pid -> bom.part.part"),
+	}
+	// Top pid + sub pid pin the sub-part, hence its supplier.
+	ans, err := ImpliesBounded(d, sigma,
+		xfd.MustParse("bom.part.@pid, bom.part.part.@pid -> bom.part.part.@supplier"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Implied {
+		t.Error("chained relative keys should determine the sub-part supplier")
+	}
+	// The sub pid alone still does not.
+	ans, err = ImpliesBounded(d, sigma,
+		xfd.MustParse("bom.part.part.@pid -> bom.part.part.@supplier"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Implied {
+		t.Error("sub pid alone is relative, not absolute")
+	}
+}

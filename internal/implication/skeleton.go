@@ -1,0 +1,150 @@
+package implication
+
+import (
+	"fmt"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/regex"
+)
+
+// pathKind distinguishes the three kinds of paths.
+type pathKind uint8
+
+const (
+	elemPath pathKind = iota
+	attrPath
+	textPath
+)
+
+// pnode is one path of the DTD in the flattened skeleton used by the
+// closure engine. Every path of a non-recursive disjunctive DTD gets a
+// dense integer id.
+type pnode struct {
+	id     int
+	path   dtd.Path
+	kind   pathKind
+	parent int        // id of the parent path; -1 for the root
+	mult   regex.Mult // multiplicity of this element under its parent (elemPath only; One for the root)
+	group  int        // disjunction group id, or -1 (elemPath only)
+	kids   []int      // child path ids, in enumeration order
+}
+
+// pgroup is one simple-disjunction factor at one element path: a
+// conforming node at the parent path has exactly one child among the
+// member paths (or none, when nullable).
+type pgroup struct {
+	id       int
+	parent   int   // element path id the group hangs off
+	members  []int // element path ids of the branches
+	nullable bool
+}
+
+// skeleton is the unfolding of a non-recursive disjunctive DTD into its
+// path tree, with per-letter multiplicities and disjunction groups.
+type skeleton struct {
+	d      *dtd.DTD
+	nodes  []*pnode
+	groups []*pgroup
+	byPath map[string]int
+}
+
+// buildSkeleton unfolds the DTD. It fails if the DTD is recursive or not
+// disjunctive.
+func buildSkeleton(d *dtd.DTD) (*skeleton, error) {
+	if d.IsRecursive() {
+		return nil, fmt.Errorf("implication: DTD is recursive; paths(D) is infinite")
+	}
+	factors, ok := d.Factors()
+	if !ok {
+		return nil, fmt.Errorf("implication: DTD is not disjunctive; use BruteForce")
+	}
+	sk := &skeleton{d: d, byPath: map[string]int{}}
+	var add func(path dtd.Path, parent int, mult regex.Mult, group int) int
+	add = func(path dtd.Path, parent int, mult regex.Mult, group int) int {
+		n := &pnode{id: len(sk.nodes), path: path, parent: parent, mult: mult, group: group}
+		sk.nodes = append(sk.nodes, n)
+		sk.byPath[path.String()] = n.id
+		if parent >= 0 {
+			sk.nodes[parent].kids = append(sk.nodes[parent].kids, n.id)
+		}
+		elem := d.Element(path.Last())
+		// Attributes.
+		for _, a := range elem.Attrs {
+			c := &pnode{id: len(sk.nodes), path: path.Child("@" + a), kind: attrPath, parent: n.id, group: -1}
+			sk.nodes = append(sk.nodes, c)
+			sk.byPath[c.path.String()] = c.id
+			n.kids = append(n.kids, c.id)
+		}
+		switch elem.Kind {
+		case dtd.TextContent:
+			c := &pnode{id: len(sk.nodes), path: path.Child(dtd.TextStep), kind: textPath, parent: n.id, group: -1}
+			sk.nodes = append(sk.nodes, c)
+			sk.byPath[c.path.String()] = c.id
+			n.kids = append(n.kids, c.id)
+		case dtd.ModelContent:
+			for _, f := range factors[path.Last()] {
+				if !f.IsDisjunction() {
+					for _, letter := range f.Alphabet() {
+						add(path.Child(letter), n.id, f.Units[letter], -1)
+					}
+					continue
+				}
+				g := &pgroup{id: len(sk.groups), parent: n.id, nullable: f.Disj.Nullable}
+				sk.groups = append(sk.groups, g)
+				for _, letter := range f.Disj.Letters {
+					cid := add(path.Child(letter), n.id, regex.OptM, g.id)
+					g.members = append(g.members, cid)
+				}
+			}
+		}
+		return n.id
+	}
+	add(dtd.Path{d.Root()}, -1, regex.One, -1)
+	return sk, nil
+}
+
+// node returns the pnode for a path, or nil.
+func (sk *skeleton) node(p dtd.Path) *pnode {
+	id, ok := sk.byPath[p.String()]
+	if !ok {
+		return nil
+	}
+	return sk.nodes[id]
+}
+
+// isPrefix reports whether node a's path is a (non-strict) prefix of
+// node b's path.
+func (sk *skeleton) isPrefix(a, b int) bool {
+	for b != -1 {
+		if b == a {
+			return true
+		}
+		b = sk.nodes[b].parent
+	}
+	return false
+}
+
+// lcpLen returns the number of common ancestors (inclusive) of two
+// nodes: the length of the longest common prefix of their paths.
+func (sk *skeleton) lcpLen(a, b int) int {
+	ca, cb := sk.chain(a), sk.chain(b)
+	n := 0
+	for n < len(ca) && n < len(cb) && ca[n] == cb[n] {
+		n++
+	}
+	return n
+}
+
+// chain returns the ids of all ancestors of id (inclusive), root first.
+func (sk *skeleton) chain(id int) []int {
+	var rev []int
+	for id != -1 {
+		rev = append(rev, id)
+		id = sk.nodes[id].parent
+	}
+	out := make([]int, len(rev))
+	for i, v := range rev {
+		out[len(rev)-1-i] = v
+	}
+	return out
+}

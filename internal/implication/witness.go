@@ -1,0 +1,58 @@
+package implication
+
+import (
+	"fmt"
+
+	"xmlnorm/internal/tuples"
+	"xmlnorm/internal/xmltree"
+)
+
+// realize turns a completed (feasible, non-implied) closure state into a
+// concrete counterexample tree: two maximal tuples t1, t2 that are
+// non-null exactly on the derived nn sets, share vertices and string
+// values exactly on the derived eq set, and differ everywhere else. The
+// glued tree trees_D({t1, t2}) is the candidate counterexample; the
+// caller re-verifies it semantically.
+func realize(s *state) (*xmltree.Tree, error) {
+	n := len(s.sk.nodes)
+	// Shared values for eq paths, per-tuple values otherwise.
+	sharedNode := make([]xmltree.NodeID, n)
+	t1 := tuples.Tuple{}
+	t2 := tuples.Tuple{}
+	valueCounter := 0
+	fresh := func() string {
+		valueCounter++
+		return fmt.Sprintf("v%d", valueCounter)
+	}
+	for id, pn := range s.sk.nodes {
+		key := pn.path.String()
+		switch {
+		case s.nn1[id] && s.nn2[id] && s.eq[id]:
+			if pn.kind == elemPath {
+				sharedNode[id] = xmltree.FreshID()
+				t1[key] = tuples.NodeValue(sharedNode[id])
+				t2[key] = tuples.NodeValue(sharedNode[id])
+			} else {
+				v := fresh()
+				t1[key] = tuples.StringValue(v)
+				t2[key] = tuples.StringValue(v)
+			}
+		default:
+			if s.nn1[id] {
+				if pn.kind == elemPath {
+					t1[key] = tuples.NodeValue(xmltree.FreshID())
+				} else {
+					t1[key] = tuples.StringValue(fresh())
+				}
+			}
+			if s.nn2[id] {
+				if pn.kind == elemPath {
+					t2[key] = tuples.NodeValue(xmltree.FreshID())
+				} else {
+					t2[key] = tuples.StringValue(fresh())
+				}
+			}
+		}
+	}
+	return tuples.TreesOf(s.sk.d, []tuples.Tuple{t1, t2})
+}

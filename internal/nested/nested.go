@@ -1,0 +1,496 @@
+// Package nested implements the nested relational model used by
+// Section 5 of the paper ("NNF and XNF"): nested schemas
+// X(G1)*...(Gn)*, nested relation values, complete unnesting
+// (Figure 3), the partition normal form PNF, the encoding of a nested
+// schema into an XML specification, and the nested normal form NNF of
+// Özsoyoglu-Yuan / Mok-Ng-Embley in the FD-only presentation the paper
+// uses.
+package nested
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/regex"
+	"xmlnorm/internal/relational"
+	"xmlnorm/internal/xfd"
+)
+
+// Schema is a nested relation schema: a named set of atomic attributes
+// plus zero or more starred nested sub-schemas.
+type Schema struct {
+	Name     string
+	Attrs    []string
+	Children []*Schema
+}
+
+// String renders e.g. "H1 = Country (H2)*".
+func (s *Schema) String() string {
+	parts := append([]string{}, s.Attrs...)
+	for _, c := range s.Children {
+		parts = append(parts, "("+c.Name+")*")
+	}
+	return s.Name + " = " + strings.Join(parts, " ")
+}
+
+// Validate checks that schema names and attributes are unique across
+// the whole tree.
+func (s *Schema) Validate() error {
+	names := map[string]bool{}
+	attrs := map[string]bool{}
+	var walk func(g *Schema) error
+	walk = func(g *Schema) error {
+		if g.Name == "" {
+			return fmt.Errorf("nested: unnamed schema")
+		}
+		if names[g.Name] {
+			return fmt.Errorf("nested: schema name %q repeated", g.Name)
+		}
+		names[g.Name] = true
+		for _, a := range g.Attrs {
+			if attrs[a] {
+				return fmt.Errorf("nested: attribute %q repeated", a)
+			}
+			attrs[a] = true
+		}
+		for _, c := range g.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(s)
+}
+
+// AtomicAttrs returns all atomic attributes of the schema tree, in
+// document order.
+func (s *Schema) AtomicAttrs() []string {
+	var out []string
+	var walk func(g *Schema)
+	walk = func(g *Schema) {
+		out = append(out, g.Attrs...)
+		for _, c := range g.Children {
+			walk(c)
+		}
+	}
+	walk(s)
+	return out
+}
+
+// find returns the sub-schema with the given name, or nil.
+func (s *Schema) find(name string) *Schema {
+	if s.Name == name {
+		return s
+	}
+	for _, c := range s.Children {
+		if f := c.find(name); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// owner returns the sub-schema declaring the atomic attribute, or nil.
+func (s *Schema) owner(attr string) *Schema {
+	for _, a := range s.Attrs {
+		if a == attr {
+			return s
+		}
+	}
+	for _, c := range s.Children {
+		if o := c.owner(attr); o != nil {
+			return o
+		}
+	}
+	return nil
+}
+
+// SchemaPath returns the paper's path(Gi): db.G1.....Gi in the XML
+// encoding.
+func (s *Schema) SchemaPath(name string) (dtd.Path, error) {
+	var chain []string
+	var walk func(g *Schema, acc []string) bool
+	walk = func(g *Schema, acc []string) bool {
+		acc = append(acc, g.Name)
+		if g.Name == name {
+			chain = append([]string{}, acc...)
+			return true
+		}
+		for _, c := range g.Children {
+			if walk(c, acc) {
+				return true
+			}
+		}
+		return false
+	}
+	if !walk(s, nil) {
+		return nil, fmt.Errorf("nested: schema %q not found", name)
+	}
+	return dtd.Path(append([]string{"db"}, chain...)), nil
+}
+
+// AttrPath returns the paper's path(A): path(Gi).@A for the owning
+// sub-schema Gi.
+func (s *Schema) AttrPath(attr string) (dtd.Path, error) {
+	o := s.owner(attr)
+	if o == nil {
+		return nil, fmt.Errorf("nested: attribute %q not found", attr)
+	}
+	p, err := s.SchemaPath(o.Name)
+	if err != nil {
+		return nil, err
+	}
+	return p.Child("@" + attr), nil
+}
+
+// Ancestor computes ancestor(A): the union of the atomic attributes of
+// every sub-schema on the path from the root to the owner of A.
+func (s *Schema) Ancestor(attr string) (relational.AttrSet, error) {
+	o := s.owner(attr)
+	if o == nil {
+		return nil, fmt.Errorf("nested: attribute %q not found", attr)
+	}
+	out := relational.AttrSet{}
+	var walk func(g *Schema) bool
+	walk = func(g *Schema) bool {
+		if g == o {
+			for _, a := range g.Attrs {
+				out[a] = true
+			}
+			return true
+		}
+		for _, c := range g.Children {
+			if walk(c) {
+				for _, a := range g.Attrs {
+					out[a] = true
+				}
+				return true
+			}
+		}
+		return false
+	}
+	walk(s)
+	return out, nil
+}
+
+// Tuple is one tuple of a nested relation: atomic values plus one
+// nested relation per child schema.
+type Tuple struct {
+	Values map[string]string
+	Nested []*Relation // parallel to Schema.Children
+}
+
+// Relation is a nested relation value.
+type Relation struct {
+	Schema *Schema
+	Tuples []*Tuple
+}
+
+// NewRelation returns an empty relation of the schema.
+func NewRelation(s *Schema) *Relation { return &Relation{Schema: s} }
+
+// Add appends a tuple built from atomic values (in Schema.Attrs order)
+// and nested relations (in Schema.Children order).
+func (r *Relation) Add(values []string, nested ...*Relation) (*Tuple, error) {
+	if len(values) != len(r.Schema.Attrs) {
+		return nil, fmt.Errorf("nested: %d values for %d attributes of %s", len(values), len(r.Schema.Attrs), r.Schema.Name)
+	}
+	if len(nested) != len(r.Schema.Children) {
+		return nil, fmt.Errorf("nested: %d nested relations for %d children of %s", len(nested), len(r.Schema.Children), r.Schema.Name)
+	}
+	t := &Tuple{Values: map[string]string{}, Nested: nested}
+	for i, a := range r.Schema.Attrs {
+		t.Values[a] = values[i]
+	}
+	r.Tuples = append(r.Tuples, t)
+	return t, nil
+}
+
+// Unnest computes the complete unnesting (Figure 3(b)): the flat
+// relation over all atomic attributes. A tuple whose nested relation is
+// empty contributes no rows (the standard unnest semantics the paper's
+// example follows).
+func (r *Relation) Unnest() ([]string, [][]string) {
+	cols := r.Schema.AtomicAttrs()
+	var rows [][]string
+	var rec func(rel *Relation, acc map[string]string)
+	rec = func(rel *Relation, acc map[string]string) {
+		for _, t := range rel.Tuples {
+			local := map[string]string{}
+			for k, v := range acc {
+				local[k] = v
+			}
+			for k, v := range t.Values {
+				local[k] = v
+			}
+			if len(rel.Schema.Children) == 0 {
+				row := make([]string, len(cols))
+				for i, c := range cols {
+					row[i] = local[c]
+				}
+				rows = append(rows, row)
+				continue
+			}
+			// Cross product over the children's unnestings: recurse
+			// child by child.
+			var cross func(i int, acc2 map[string]string)
+			cross = func(i int, acc2 map[string]string) {
+				if i == len(t.Nested) {
+					row := make([]string, len(cols))
+					for j, c := range cols {
+						row[j] = acc2[c]
+					}
+					rows = append(rows, row)
+					return
+				}
+				for _, sub := range flatten(t.Nested[i]) {
+					next := map[string]string{}
+					for k, v := range acc2 {
+						next[k] = v
+					}
+					for k, v := range sub {
+						next[k] = v
+					}
+					cross(i+1, next)
+				}
+			}
+			cross(0, local)
+		}
+	}
+	rec(r, map[string]string{})
+	return cols, rows
+}
+
+// flatten returns the unnested value maps of a nested relation.
+func flatten(r *Relation) []map[string]string {
+	var out []map[string]string
+	for _, t := range r.Tuples {
+		base := map[string]string{}
+		for k, v := range t.Values {
+			base[k] = v
+		}
+		if len(t.Nested) == 0 {
+			out = append(out, base)
+			continue
+		}
+		partial := []map[string]string{base}
+		for _, sub := range t.Nested {
+			subMaps := flatten(sub)
+			var next []map[string]string
+			for _, p := range partial {
+				for _, sm := range subMaps {
+					m := map[string]string{}
+					for k, v := range p {
+						m[k] = v
+					}
+					for k, v := range sm {
+						m[k] = v
+					}
+					next = append(next, m)
+				}
+			}
+			partial = next
+		}
+		out = append(out, partial...)
+	}
+	return out
+}
+
+// IsPNF checks the partition normal form: within every (sub-)relation,
+// tuples agreeing on all atomic attributes must have equal nested
+// relations, recursively.
+func (r *Relation) IsPNF() bool {
+	seen := map[string]*Tuple{}
+	for _, t := range r.Tuples {
+		key := tupleKey(r.Schema.Attrs, t.Values)
+		if prev, dup := seen[key]; dup {
+			if !sameNested(prev, t) {
+				return false
+			}
+		}
+		seen[key] = t
+		for _, sub := range t.Nested {
+			if !sub.IsPNF() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func tupleKey(attrs []string, values map[string]string) string {
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = values[a]
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// sameNested compares nested relations structurally (as canonical
+// multisets).
+func sameNested(a, b *Tuple) bool {
+	if len(a.Nested) != len(b.Nested) {
+		return false
+	}
+	for i := range a.Nested {
+		if canonicalRel(a.Nested[i]) != canonicalRel(b.Nested[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func canonicalRel(r *Relation) string {
+	var parts []string
+	for _, t := range r.Tuples {
+		p := tupleKey(r.Schema.Attrs, t.Values)
+		for _, sub := range t.Nested {
+			p += "{" + canonicalRel(sub) + "}"
+		}
+		parts = append(parts, p)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ";")
+}
+
+// SatisfiesFlat checks a relational FD on the complete unnesting.
+func SatisfiesFlat(cols []string, rows [][]string, fd relational.FD) bool {
+	idx := map[string]int{}
+	for i, c := range cols {
+		idx[c] = i
+	}
+	groups := map[string][]string{}
+	for _, row := range rows {
+		var kb strings.Builder
+		for _, a := range fd.LHS.Sorted() {
+			kb.WriteString(row[idx[a]])
+			kb.WriteByte('\x00')
+		}
+		var vb strings.Builder
+		for _, a := range fd.RHS.Sorted() {
+			vb.WriteString(row[idx[a]])
+			vb.WriteByte('\x00')
+		}
+		k, v := kb.String(), vb.String()
+		if prev, ok := groups[k]; ok {
+			if prev[0] != v {
+				return false
+			}
+			continue
+		}
+		groups[k] = []string{v}
+	}
+	return true
+}
+
+// EncodeXML codes the nested schema and its FDs as an XML specification
+// (Section 5, "NNF and XNF"): each sub-schema G becomes an element type
+// with P(G) = G1*,...,Gn* (EMPTY for leaves), R(G) its atomic
+// attributes, under a root db with P(db) = G1*. Σ_FD contains the
+// translation of each FD via path(·), the PNF-enforcing keys
+// {path(Gj), path(Ai1), ..., path(Aik)} → path(Gi) for each sub-schema
+// Gi with parent Gj and atomic attributes Ai1...Aik, and
+// {path(B1), ..., path(Bm)} → path(G1) for the root's atomic
+// attributes.
+func EncodeXML(s *Schema, fds []relational.FD) (*dtd.DTD, []xfd.FD, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	d := dtd.New("db")
+	if err := d.AddElement(&dtd.Element{
+		Name: "db", Kind: dtd.ModelContent, Model: regex.Star(regex.Letter(s.Name)),
+	}); err != nil {
+		return nil, nil, err
+	}
+	var declare func(g *Schema) error
+	declare = func(g *Schema) error {
+		e := &dtd.Element{Name: g.Name, Attrs: append([]string{}, g.Attrs...)}
+		if len(g.Children) == 0 {
+			e.Kind = dtd.EmptyContent
+		} else {
+			e.Kind = dtd.ModelContent
+			var model *regex.Expr
+			for _, c := range g.Children {
+				model = regex.AppendLetter(model, c.Name, regex.StarM)
+			}
+			e.Model = model
+		}
+		if err := d.AddElement(e); err != nil {
+			return err
+		}
+		for _, c := range g.Children {
+			if err := declare(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := declare(s); err != nil {
+		return nil, nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, nil, err
+	}
+
+	var sigma []xfd.FD
+	// Translated FDs.
+	for _, f := range fds {
+		var x xfd.FD
+		for _, a := range f.LHS.Sorted() {
+			p, err := s.AttrPath(a)
+			if err != nil {
+				return nil, nil, err
+			}
+			x.LHS = append(x.LHS, p)
+		}
+		for _, a := range f.RHS.Sorted() {
+			p, err := s.AttrPath(a)
+			if err != nil {
+				return nil, nil, err
+			}
+			x.RHS = append(x.RHS, p)
+		}
+		sigma = append(sigma, x)
+	}
+	// PNF keys.
+	var pnf func(g *Schema, parent *Schema) error
+	pnf = func(g *Schema, parent *Schema) error {
+		gPath, err := s.SchemaPath(g.Name)
+		if err != nil {
+			return err
+		}
+		var key xfd.FD
+		if parent == nil {
+			// Root: its atomic attributes key it.
+			for _, a := range g.Attrs {
+				key.LHS = append(key.LHS, gPath.Child("@"+a))
+			}
+		} else {
+			pPath, err := s.SchemaPath(parent.Name)
+			if err != nil {
+				return err
+			}
+			key.LHS = append(key.LHS, pPath)
+			for _, a := range g.Attrs {
+				key.LHS = append(key.LHS, gPath.Child("@"+a))
+			}
+		}
+		if len(key.LHS) > 0 {
+			key.RHS = []dtd.Path{gPath}
+			sigma = append(sigma, key)
+		}
+		for _, c := range g.Children {
+			if err := pnf(c, g); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := pnf(s, nil); err != nil {
+		return nil, nil, err
+	}
+	return d, sigma, nil
+}

@@ -1,0 +1,309 @@
+package nested
+
+import (
+	"math/rand"
+	"testing"
+
+	"xmlnorm/internal/relational"
+	"xmlnorm/internal/xnf"
+)
+
+// countrySchema is the schema of Figure 3: H1 = Country(H2)*,
+// H2 = State(H3)*, H3 = City.
+func countrySchema() *Schema {
+	return &Schema{
+		Name: "H1", Attrs: []string{"Country"},
+		Children: []*Schema{{
+			Name: "H2", Attrs: []string{"State"},
+			Children: []*Schema{{
+				Name: "H3", Attrs: []string{"City"},
+			}},
+		}},
+	}
+}
+
+// countryRelation is the value of Figure 3(a).
+func countryRelation(t *testing.T) *Relation {
+	t.Helper()
+	s := countrySchema()
+	h3 := s.Children[0].Children[0]
+	h2 := s.Children[0]
+
+	texasCities := NewRelation(h3)
+	texasCities.Add([]string{"Houston"})
+	texasCities.Add([]string{"Dallas"})
+	ohioCities := NewRelation(h3)
+	ohioCities.Add([]string{"Columbus"})
+	ohioCities.Add([]string{"Cleveland"})
+
+	states := NewRelation(h2)
+	if _, err := states.Add([]string{"Texas"}, texasCities); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := states.Add([]string{"Ohio"}, ohioCities); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRelation(s)
+	if _, err := r.Add([]string{"United States"}, states); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestFigure3Unnesting: the complete unnesting of Figure 3(a) is the
+// flat relation of Figure 3(b).
+func TestFigure3Unnesting(t *testing.T) {
+	r := countryRelation(t)
+	cols, rows := r.Unnest()
+	if len(cols) != 3 || cols[0] != "Country" || cols[1] != "State" || cols[2] != "City" {
+		t.Fatalf("cols = %v", cols)
+	}
+	want := map[string]bool{
+		"United States|Texas|Houston":  true,
+		"United States|Texas|Dallas":   true,
+		"United States|Ohio|Columbus":  true,
+		"United States|Ohio|Cleveland": true,
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+	for _, row := range rows {
+		k := row[0] + "|" + row[1] + "|" + row[2]
+		if !want[k] {
+			t.Errorf("unexpected row %v", row)
+		}
+	}
+	// "we have a valid FD State → Country, while State → City does not
+	// hold."
+	if !SatisfiesFlat(cols, rows, relational.MustParseFD("State -> Country")) {
+		t.Error("State -> Country should hold on the unnesting")
+	}
+	if SatisfiesFlat(cols, rows, relational.MustParseFD("State -> City")) {
+		t.Error("State -> City should not hold")
+	}
+}
+
+func TestPNF(t *testing.T) {
+	r := countryRelation(t)
+	if !r.IsPNF() {
+		t.Error("Figure 3(a) should be in PNF")
+	}
+	// Duplicate the US tuple with a different nested relation: violates
+	// PNF.
+	s := countrySchema()
+	h2 := s.Children[0]
+	h3 := h2.Children[0]
+	cities := NewRelation(h3)
+	cities.Add([]string{"Paris"})
+	states := NewRelation(h2)
+	states.Add([]string{"TX"}, cities)
+	bad := NewRelation(s)
+	bad.Add([]string{"US"}, states)
+	empty := NewRelation(h2)
+	bad.Add([]string{"US"}, empty)
+	if bad.IsPNF() {
+		t.Error("conflicting nested relations for the same atomic values should violate PNF")
+	}
+}
+
+// TestEncodeXML reproduces the DTD printed in Section 5 for the country
+// schema, and the three PNF-enforcing FDs.
+func TestEncodeXML(t *testing.T) {
+	d, sigma, err := EncodeXML(countrySchema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root() != "db" {
+		t.Fatalf("root = %q", d.Root())
+	}
+	for _, e := range []struct{ name, attr string }{
+		{"H1", "Country"}, {"H2", "State"}, {"H3", "City"},
+	} {
+		el := d.Element(e.name)
+		if el == nil || !el.HasAttr(e.attr) {
+			t.Fatalf("element %s missing or missing attr %s:\n%s", e.name, e.attr, d)
+		}
+	}
+	want := map[string]bool{
+		"db.H1.@Country -> db.H1":                    true,
+		"db.H1, db.H1.H2.@State -> db.H1.H2":         true,
+		"db.H1.H2, db.H1.H2.H3.@City -> db.H1.H2.H3": true,
+	}
+	got := map[string]bool{}
+	for _, f := range sigma {
+		got[f.String()] = true
+	}
+	for w := range want {
+		if !got[w] {
+			t.Errorf("missing PNF FD %q in %v", w, sigma)
+		}
+	}
+}
+
+func TestPathsAndAncestor(t *testing.T) {
+	s := countrySchema()
+	p, err := s.SchemaPath("H2")
+	if err != nil || p.String() != "db.H1.H2" {
+		t.Errorf("SchemaPath(H2) = %v, %v", p, err)
+	}
+	ap, err := s.AttrPath("City")
+	if err != nil || ap.String() != "db.H1.H2.H3.@City" {
+		t.Errorf("AttrPath(City) = %v, %v", ap, err)
+	}
+	// ancestor(State) = {Country, State} (the paper's example).
+	anc, err := s.Ancestor("State")
+	if err != nil || anc.String() != "Country State" {
+		t.Errorf("Ancestor(State) = %v, %v", anc, err)
+	}
+	if _, err := s.AttrPath("Nope"); err == nil {
+		t.Error("unknown attribute should fail")
+	}
+	if _, err := s.SchemaPath("Nope"); err == nil {
+		t.Error("unknown schema should fail")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	dup := &Schema{Name: "A", Attrs: []string{"x"},
+		Children: []*Schema{{Name: "A", Attrs: []string{"y"}}}}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate schema name should fail")
+	}
+	dupAttr := &Schema{Name: "A", Attrs: []string{"x"},
+		Children: []*Schema{{Name: "B", Attrs: []string{"x"}}}}
+	if err := dupAttr.Validate(); err == nil {
+		t.Error("duplicate attribute should fail")
+	}
+}
+
+// TestNNFCountry: the country schema with FD State → Country is *not*
+// in NNF (State determines Country but not the whole ancestor set
+// placement... in fact here ancestor(State) = {Country, State} and
+// State → Country holds, so it IS in NNF); dropping to City → State
+// breaks it.
+func TestNNFCountry(t *testing.T) {
+	s := countrySchema()
+	// With State -> Country: every implied X → A respects ancestors.
+	ok, viols, err := IsNNF(s, []relational.FD{relational.MustParseFD("State -> Country")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("State -> Country layout should be NNF; violations: %v", viols)
+	}
+	// Country -> State is still NNF: Country keys H1 (PNF) and the PNF
+	// key {H1, State} → H2 then pins the H2 vertex, so no redundancy.
+	ok, viols, err = IsNNF(s, []relational.FD{relational.MustParseFD("Country -> State")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("Country -> State layout should still be NNF; violations: %v", viols)
+	}
+	// City -> State violates NNF: two H2 vertices (different countries)
+	// can hold a same-named city, and both must then store the same
+	// State value — a redundancy City does not "see" (it does not
+	// determine the H2 vertex).
+	ok, viols, err = IsNNF(s, []relational.FD{relational.MustParseFD("City -> State")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("City -> State layout should violate NNF")
+	}
+	if len(viols) == 0 {
+		t.Error("expected violations")
+	}
+}
+
+// TestProposition5 checks NNF ⇔ XNF on randomized nested schemas with
+// randomized FDs.
+func TestProposition5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quadratic enumeration")
+	}
+	rng := rand.New(rand.NewSource(7))
+	attrsPool := []string{"A", "B", "C", "D"}
+	for trial := 0; trial < 40; trial++ {
+		s, attrs := randomNestedSchema(rng, attrsPool)
+		var fds []relational.FD
+		for i := 0; i < rng.Intn(3); i++ {
+			l := attrs[rng.Intn(len(attrs))]
+			r := attrs[rng.Intn(len(attrs))]
+			if l == r {
+				continue
+			}
+			fds = append(fds, relational.FD{
+				LHS: relational.NewAttrSet(l),
+				RHS: relational.NewAttrSet(r),
+			})
+		}
+		nnf, viols, err := IsNNF(s, fds)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		d, sigma, err := EncodeXML(s, fds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xnfOK, anomalies, err := xnf.Check(xnf.Spec{DTD: d, FDs: sigma})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nnf != xnfOK {
+			t.Errorf("trial %d: Proposition 5 violated on %v with %v:\nNNF=%v (%v)\nXNF=%v (%v)",
+				trial, s, fds, nnf, viols, xnfOK, anomalies)
+		}
+	}
+}
+
+// randomNestedSchema builds a random chain/tree schema using the pool's
+// attributes (each exactly once, so every schema node gets ≥ 1).
+func randomNestedSchema(rng *rand.Rand, pool []string) (*Schema, []string) {
+	n := 2 + rng.Intn(len(pool)-1) // 2..len(pool) nodes
+	attrs := pool[:n]
+	nodes := make([]*Schema, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = &Schema{Name: "G" + string(rune('0'+i)), Attrs: []string{attrs[i]}}
+	}
+	// Attach each node i>0 under a random earlier node: random tree.
+	for i := 1; i < n; i++ {
+		p := rng.Intn(i)
+		nodes[p].Children = append(nodes[p].Children, nodes[i])
+	}
+	return nodes[0], attrs
+}
+
+// TestNormalizeNNFViolation: the XNF machinery repairs a non-NNF nested
+// design: encoding City -> State and normalizing yields an XNF spec.
+func TestNormalizeNNFViolation(t *testing.T) {
+	s := countrySchema()
+	fds := []relational.FD{relational.MustParseFD("City -> State")}
+	d, sigma, err := EncodeXML(s, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := xnf.Spec{DTD: d, FDs: sigma}
+	ok, _, err := xnf.Check(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("encoding of a non-NNF design should not be in XNF")
+	}
+	out, steps, err := xnf.Normalize(spec, xnf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 {
+		t.Fatal("no steps applied")
+	}
+	ok, anomalies, err := xnf.Check(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("repaired design not in XNF: %v", anomalies)
+	}
+}

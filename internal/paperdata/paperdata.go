@@ -1,0 +1,44 @@
+// Package paperdata locates the transcribed artifacts of the paper
+// (DTDs, example documents, spec files) in the repository's testdata
+// directory, so that tests, examples and the experiment harness can all
+// load the same fixtures regardless of their working directory.
+package paperdata
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+)
+
+// Dir returns the testdata directory. It first tries the path relative
+// to this source file (which works for tests and for binaries run from
+// the source tree), then falls back to ./testdata under the current
+// working directory.
+func Dir() string {
+	if _, file, _, ok := runtime.Caller(0); ok {
+		d := filepath.Join(filepath.Dir(file), "..", "..", "testdata")
+		if _, err := os.Stat(d); err == nil {
+			return d
+		}
+	}
+	return "testdata"
+}
+
+// Read returns the contents of a testdata file.
+func Read(name string) (string, error) {
+	b, err := os.ReadFile(filepath.Join(Dir(), name))
+	if err != nil {
+		return "", fmt.Errorf("paperdata: %v", err)
+	}
+	return string(b), nil
+}
+
+// MustRead is Read that panics; for tests and examples.
+func MustRead(name string) string {
+	s, err := Read(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

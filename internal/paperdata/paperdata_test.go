@@ -1,0 +1,31 @@
+package paperdata
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDirAndRead(t *testing.T) {
+	if Dir() == "" {
+		t.Fatal("empty dir")
+	}
+	s, err := Read("courses.dtd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "<!ELEMENT courses") {
+		t.Errorf("unexpected content: %q", s[:40])
+	}
+	if _, err := Read("no-such-file.dtd"); err == nil {
+		t.Error("missing file should error")
+	}
+	if MustRead("courses.xml") == "" {
+		t.Error("MustRead returned empty")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRead should panic on missing files")
+		}
+	}()
+	MustRead("definitely-missing")
+}

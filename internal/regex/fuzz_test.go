@@ -1,0 +1,39 @@
+package regex
+
+import "testing"
+
+// FuzzParse checks the content-model parser never panics, accepted
+// inputs round trip, and the analyses run without crashing.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		"a", "a*", "(a|b)+", "a,b?,c*", "((a))", "()", "a|", "(a", "a**",
+		"logo*,title,(qna+|q+|(p|div|section)+)",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		e, err := Parse(input)
+		if err != nil {
+			return
+		}
+		again, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", e, err)
+		}
+		if !Equal(e, again) {
+			t.Fatalf("round trip changed %q", input)
+		}
+		// Analyses must not panic and must be mutually consistent.
+		if u, ok := Simple(e); ok {
+			if err := VerifyUnitsCapped(e, u); err != nil {
+				t.Fatalf("simple classification inconsistent for %q: %v", input, err)
+			}
+		}
+		_ = e.Nullable()
+		_ = e.Alphabet()
+		if w := e.MinWord(); !Compile(e).Match(w) {
+			t.Fatalf("MinWord(%q) = %v rejected by its own language", input, w)
+		}
+		_, _ = Disjunctive(e)
+	})
+}

@@ -1,0 +1,132 @@
+package regex
+
+// Thompson-style NFA construction and subset-simulation matching over
+// element-name alphabets. Used for DTD conformance checking (Definition 3)
+// and for the exact sub-tests of the simplicity classifier.
+
+// nfa is a nondeterministic finite automaton with ε-transitions.
+type nfa struct {
+	start, accept int
+	eps           [][]int          // eps[s] = states reachable by ε from s
+	trans         []map[string]int // trans[s][letter] = next state (Thompson NFAs have ≤1 per letter)
+}
+
+// Compile builds an NFA recognizing the language of e.
+func Compile(e *Expr) *Matcher {
+	n := &nfa{}
+	s, a := n.build(e)
+	n.start, n.accept = s, a
+	return &Matcher{n: n}
+}
+
+func (n *nfa) newState() int {
+	n.eps = append(n.eps, nil)
+	n.trans = append(n.trans, nil)
+	return len(n.eps) - 1
+}
+
+func (n *nfa) addEps(from, to int) { n.eps[from] = append(n.eps[from], to) }
+
+func (n *nfa) addTrans(from int, letter string, to int) {
+	if n.trans[from] == nil {
+		n.trans[from] = map[string]int{}
+	}
+	n.trans[from][letter] = to
+}
+
+// build returns (start, accept) states for e.
+func (n *nfa) build(e *Expr) (int, int) {
+	switch e.Kind {
+	case KindEmpty:
+		s, a := n.newState(), n.newState()
+		n.addEps(s, a)
+		return s, a
+	case KindLetter:
+		s, a := n.newState(), n.newState()
+		n.addTrans(s, e.Name, a)
+		return s, a
+	case KindConcat:
+		s, a := n.build(e.Subs[0])
+		for _, sub := range e.Subs[1:] {
+			s2, a2 := n.build(sub)
+			n.addEps(a, s2)
+			a = a2
+		}
+		return s, a
+	case KindUnion:
+		s, a := n.newState(), n.newState()
+		for _, sub := range e.Subs {
+			si, ai := n.build(sub)
+			n.addEps(s, si)
+			n.addEps(ai, a)
+		}
+		return s, a
+	case KindStar:
+		si, ai := n.build(e.Sub)
+		s, a := n.newState(), n.newState()
+		n.addEps(s, si)
+		n.addEps(s, a)
+		n.addEps(ai, si)
+		n.addEps(ai, a)
+		return s, a
+	case KindPlus:
+		si, ai := n.build(e.Sub)
+		s, a := n.newState(), n.newState()
+		n.addEps(s, si)
+		n.addEps(ai, si)
+		n.addEps(ai, a)
+		return s, a
+	case KindOpt:
+		si, ai := n.build(e.Sub)
+		s, a := n.newState(), n.newState()
+		n.addEps(s, si)
+		n.addEps(s, a)
+		n.addEps(ai, a)
+		return s, a
+	default:
+		panic("regex: unknown kind")
+	}
+}
+
+// Matcher tests membership of words (sequences of element names) in a
+// compiled regular language. A Matcher is safe for concurrent use.
+type Matcher struct {
+	n *nfa
+}
+
+// Match reports whether the word is in the language.
+func (m *Matcher) Match(word []string) bool {
+	cur := m.closure(map[int]bool{m.n.start: true})
+	for _, letter := range word {
+		next := map[int]bool{}
+		for s := range cur {
+			if to, ok := m.n.trans[s][letter]; ok {
+				next[to] = true
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = m.closure(next)
+	}
+	return cur[m.n.accept]
+}
+
+// closure expands a state set under ε-transitions, in place.
+func (m *Matcher) closure(set map[int]bool) map[int]bool {
+	stack := make([]int, 0, len(set))
+	for s := range set {
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range m.n.eps[s] {
+			if !set[t] {
+				set[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return set
+}

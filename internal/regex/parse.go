@@ -1,0 +1,196 @@
+package regex
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseError describes a syntax error in a content-model expression.
+type ParseError struct {
+	Input string // the full input
+	Pos   int    // byte offset of the error
+	Msg   string // human-readable description
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("regex: parse %q at offset %d: %s", e.Input, e.Pos, e.Msg)
+}
+
+// Parse parses a DTD content-model expression such as
+//
+//	(title, taken_by)
+//	(a | b)*, c?, d+
+//	(logo*, title, (qna+ | q+ | (p | div | section)+))
+//
+// into an expression tree. The grammar is union over concatenation over
+// postfix *, +, ? over atoms (names and parenthesized groups). "()" is
+// accepted as ε.
+func Parse(input string) (*Expr, error) {
+	p := &parser{input: input}
+	p.skipSpace()
+	e, err := p.parseUnion()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, p.errorf("unexpected %q", p.rest())
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error; for tests and literals.
+func MustParse(input string) *Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	input string
+	pos   int
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &ParseError{Input: p.input, Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) rest() string {
+	r := p.input[p.pos:]
+	if len(r) > 12 {
+		r = r[:12] + "..."
+	}
+	return r
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.input) {
+		c := p.input[p.pos]
+		if c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+			break
+		}
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.input) {
+		return 0
+	}
+	return p.input[p.pos]
+}
+
+// parseUnion parses alt ("|" alt)*.
+func (p *parser) parseUnion() (*Expr, error) {
+	first, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	subs := []*Expr{first}
+	for {
+		p.skipSpace()
+		if p.peek() != '|' {
+			break
+		}
+		p.pos++
+		next, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, next)
+	}
+	return Union(subs...), nil
+}
+
+// parseConcat parses item ("," item)*.
+func (p *parser) parseConcat() (*Expr, error) {
+	first, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	subs := []*Expr{first}
+	for {
+		p.skipSpace()
+		if p.peek() != ',' {
+			break
+		}
+		p.pos++
+		next, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, next)
+	}
+	return Concat(subs...), nil
+}
+
+// parsePostfix parses an atom followed by any number of *, +, ?.
+func (p *parser) parsePostfix() (*Expr, error) {
+	e, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		switch p.peek() {
+		case '*':
+			p.pos++
+			e = Star(e)
+		case '+':
+			p.pos++
+			e = Plus(e)
+		case '?':
+			p.pos++
+			e = Opt(e)
+		default:
+			return e, nil
+		}
+	}
+}
+
+// parseAtom parses a name or a parenthesized group.
+func (p *parser) parseAtom() (*Expr, error) {
+	p.skipSpace()
+	if p.peek() == '(' {
+		p.pos++
+		p.skipSpace()
+		if p.peek() == ')' { // "()" is ε
+			p.pos++
+			return Empty(), nil
+		}
+		e, err := p.parseUnion()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, p.errorf("expected ')', found %q", p.rest())
+		}
+		p.pos++
+		return e, nil
+	}
+	name := p.parseName()
+	if name == "" {
+		return nil, p.errorf("expected element name or '(', found %q", p.rest())
+	}
+	return Letter(name), nil
+}
+
+// parseName consumes an XML name: letters, digits, '_', '-', '.', ':'.
+// Dots are permitted by XML but are rejected at the DTD validation level
+// because they conflict with path notation.
+func (p *parser) parseName() string {
+	start := p.pos
+	for p.pos < len(p.input) {
+		c := rune(p.input[p.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || strings.ContainsRune("_-:", c) {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.input[start:p.pos]
+}

@@ -1,0 +1,66 @@
+package relational
+
+import (
+	"fmt"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/regex"
+	"xmlnorm/internal/xfd"
+)
+
+// EncodeXML codes a relational schema G(A1, ..., An) with FDs F as an
+// XML specification (D_G, Σ_F) following Section 5 of the paper:
+//
+//	<!ELEMENT db (G*)>
+//	<!ELEMENT G EMPTY>
+//	<!ATTLIST G A1 CDATA #REQUIRED ... An CDATA #REQUIRED>
+//
+// with, for each Ai1...Aim → Aj in F, the FD
+// {db.G.@Ai1, ..., db.G.@Aim} → db.G.@Aj, plus the tuple-identity FD
+// {db.G.@A1, ..., db.G.@An} → db.G (no duplicate rows).
+//
+// Proposition 4: (G, F) is in BCNF iff (D_G, Σ_F) is in XNF.
+func EncodeXML(s Schema, fds []FD) (*dtd.DTD, []xfd.FD, error) {
+	if s.Name == "db" {
+		return nil, nil, fmt.Errorf("relational: schema name %q collides with the root element", s.Name)
+	}
+	d := dtd.New("db")
+	if err := d.AddElement(&dtd.Element{
+		Name:  "db",
+		Kind:  dtd.ModelContent,
+		Model: regex.Star(regex.Letter(s.Name)),
+	}); err != nil {
+		return nil, nil, err
+	}
+	if err := d.AddElement(&dtd.Element{
+		Name:  s.Name,
+		Kind:  dtd.EmptyContent,
+		Attrs: s.Attrs.Sorted(),
+	}); err != nil {
+		return nil, nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, nil, err
+	}
+	attrPath := func(a string) dtd.Path {
+		return dtd.Path{"db", s.Name, "@" + a}
+	}
+	var sigma []xfd.FD
+	for _, f := range fds {
+		var x xfd.FD
+		for _, a := range f.LHS.Sorted() {
+			x.LHS = append(x.LHS, attrPath(a))
+		}
+		for _, a := range f.RHS.Sorted() {
+			x.RHS = append(x.RHS, attrPath(a))
+		}
+		sigma = append(sigma, x)
+	}
+	var key xfd.FD
+	for _, a := range s.Attrs.Sorted() {
+		key.LHS = append(key.LHS, attrPath(a))
+	}
+	key.RHS = []dtd.Path{{"db", s.Name}}
+	sigma = append(sigma, key)
+	return d, sigma, nil
+}

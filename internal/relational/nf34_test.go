@@ -1,0 +1,163 @@
+package relational
+
+import (
+	"testing"
+)
+
+func TestIs3NF(t *testing.T) {
+	// R(A,B,C) with A -> B: not 3NF (B non-prime, A not a superkey).
+	s := Schema{Name: "R", Attrs: NewAttrSet("A", "B", "C")}
+	ok, viols := Is3NF(s, []FD{MustParseFD("A -> B")})
+	if ok || len(viols) == 0 {
+		t.Error("A->B over R(A,B,C) should violate 3NF")
+	}
+	// The classic 3NF-but-not-BCNF example: R(S,J,T) with SJ -> T,
+	// T -> J. T -> J has prime RHS (J is in key {S,T}... keys: SJ and
+	// ST), so 3NF holds while BCNF fails.
+	sjt := Schema{Name: "R", Attrs: NewAttrSet("S", "J", "T")}
+	fds := []FD{MustParseFD("S J -> T"), MustParseFD("T -> J")}
+	ok3, _ := Is3NF(sjt, fds)
+	okB, _ := IsBCNF(sjt, fds)
+	if !ok3 {
+		t.Error("SJT should be in 3NF")
+	}
+	if okB {
+		t.Error("SJT should not be in BCNF")
+	}
+	// A key makes everything fine.
+	ok, _ = Is3NF(s, []FD{MustParseFD("A -> B C")})
+	if !ok {
+		t.Error("keyed schema should be 3NF")
+	}
+}
+
+func TestSynthesize3NF(t *testing.T) {
+	s := Schema{Name: "R", Attrs: NewAttrSet("A", "B", "C", "D")}
+	fds := []FD{MustParseFD("A -> B"), MustParseFD("B -> C")}
+	frags := Synthesize3NF(s, fds)
+	if len(frags) == 0 {
+		t.Fatal("no fragments")
+	}
+	union := AttrSet{}
+	keyCovered := false
+	keys := Keys(s, fds)
+	for _, f := range frags {
+		union = union.Union(f.Attrs)
+		ok, viols := Is3NF(f, Project(fds, f.Attrs))
+		if !ok {
+			t.Errorf("fragment %v not in 3NF: %v", f, viols)
+		}
+		for _, k := range keys {
+			if f.Attrs.ContainsAll(k) {
+				keyCovered = true
+			}
+		}
+	}
+	// Synthesis preserves dependencies by construction; the key fragment
+	// guarantees losslessness.
+	if !keyCovered {
+		t.Error("no fragment contains a candidate key")
+	}
+	// All FD attributes survive (D may live only in the key fragment).
+	if !union.Equal(s.Attrs) {
+		t.Errorf("attribute union = %v", union)
+	}
+}
+
+func TestMVDParseAndTrivial(t *testing.T) {
+	m := MustParseMVD("A ->> B C")
+	if m.String() != "A ->> B C" {
+		t.Errorf("String = %q", m.String())
+	}
+	u := NewAttrSet("A", "B", "C")
+	if !TrivialMVD(MustParseMVD("A B ->> B"), u) {
+		t.Error("Y ⊆ X should be trivial")
+	}
+	if !TrivialMVD(MustParseMVD("A ->> B C"), u) {
+		t.Error("X ∪ Y = U should be trivial")
+	}
+	if TrivialMVD(MustParseMVD("A ->> B"), u) {
+		t.Error("A ->> B over ABC is not trivial")
+	}
+	for _, bad := range []string{"", "A", "A ->> ", " ->> B", "A -> B"} {
+		if _, err := ParseMVD(bad); err == nil {
+			t.Errorf("ParseMVD(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestDependencyBasisAndImpliesMVD(t *testing.T) {
+	// The canonical course example: Course ->> Teacher | Book.
+	u := NewAttrSet("C", "T", "B")
+	mvds := []MVD{MustParseMVD("C ->> T")}
+	basis := DependencyBasis(NewAttrSet("C"), u, nil, mvds)
+	// Blocks must partition {T, B} as {T}, {B}.
+	if len(basis) != 2 {
+		t.Fatalf("basis = %v", basis)
+	}
+	// The complementation rule: C ->> T implies C ->> B.
+	if !ImpliesMVD(u, nil, mvds, MustParseMVD("C ->> B")) {
+		t.Error("complementation failed")
+	}
+	if !ImpliesMVD(u, nil, mvds, MustParseMVD("C ->> T")) {
+		t.Error("given MVD not implied")
+	}
+	// FDs imply MVDs.
+	if !ImpliesMVD(u, []FD{MustParseFD("C -> T")}, nil, MustParseMVD("C ->> T")) {
+		t.Error("FD should imply its MVD")
+	}
+	// An unrelated MVD is not implied.
+	if ImpliesMVD(u, nil, mvds, MustParseMVD("T ->> B")) {
+		t.Error("T ->> B should not follow")
+	}
+}
+
+func TestIs4NFAndDecompose(t *testing.T) {
+	// Course-Teacher-Book: C ->> T (and hence C ->> B), no FDs: not 4NF.
+	s := Schema{Name: "CTB", Attrs: NewAttrSet("C", "T", "B")}
+	mvds := []MVD{MustParseMVD("C ->> T")}
+	ok, viols := Is4NF(s, nil, mvds)
+	if ok || len(viols) == 0 {
+		t.Fatal("CTB should violate 4NF")
+	}
+	frags := Decompose4NF(s, nil, mvds)
+	if len(frags) != 2 {
+		t.Fatalf("fragments = %v", frags)
+	}
+	union := AttrSet{}
+	for _, f := range frags {
+		union = union.Union(f.Attrs)
+		if len(f.Attrs) != 2 || !f.Attrs.Contains("C") {
+			t.Errorf("fragment %v should be C plus one attribute", f)
+		}
+	}
+	if !union.Equal(s.Attrs) {
+		t.Errorf("union = %v", union)
+	}
+	// With a key FD the schema is already 4NF.
+	keyed := []FD{MustParseFD("C -> T B")}
+	ok, _ = Is4NF(s, keyed, nil)
+	if !ok {
+		t.Error("keyed schema should be 4NF")
+	}
+	// 4NF implies BCNF-style behavior for FDs: a BCNF violation is also
+	// a 4NF violation.
+	ok, _ = Is4NF(s, []FD{MustParseFD("C -> T")}, nil)
+	if ok {
+		t.Error("C -> T without key should violate 4NF")
+	}
+}
+
+func TestIsPrime(t *testing.T) {
+	s := Schema{Name: "R", Attrs: NewAttrSet("S", "J", "T")}
+	fds := []FD{MustParseFD("S J -> T"), MustParseFD("T -> J")}
+	for _, a := range []string{"S", "J", "T"} {
+		if !IsPrime(a, s, fds) {
+			t.Errorf("%s should be prime (keys SJ and ST)", a)
+		}
+	}
+	s2 := Schema{Name: "R", Attrs: NewAttrSet("A", "B")}
+	if IsPrime("B", s2, []FD{MustParseFD("A -> B")}) {
+		t.Error("B should not be prime")
+	}
+}

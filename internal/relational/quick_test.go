@@ -1,0 +1,165 @@
+package relational
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// randFDs decodes a small FD set over {A,B,C,D} from seed bits.
+func randFDs(seed uint64) []FD {
+	names := []string{"A", "B", "C", "D"}
+	n := int(seed % 4)
+	seed /= 4
+	var out []FD
+	for i := 0; i < n; i++ {
+		lhs := NewAttrSet(names[seed%4])
+		seed = seed/4 ^ (seed * 0x9E3779B97F4A7C15)
+		if seed%2 == 0 {
+			lhs[names[seed%4]] = true
+			seed /= 2
+		}
+		rhs := NewAttrSet(names[seed%4])
+		seed = seed/4 ^ (seed * 0x9E3779B97F4A7C15)
+		out = append(out, FD{LHS: lhs, RHS: rhs})
+	}
+	return out
+}
+
+// TestQuickClosureLaws: X⁺ is extensive, monotone and idempotent.
+func TestQuickClosureLaws(t *testing.T) {
+	f := func(seed uint64, xBits, yBits uint8) bool {
+		fds := randFDs(seed)
+		names := []string{"A", "B", "C", "D"}
+		mk := func(bits uint8) AttrSet {
+			s := AttrSet{}
+			for i, n := range names {
+				if bits&(1<<i) != 0 {
+					s[n] = true
+				}
+			}
+			return s
+		}
+		x, y := mk(xBits), mk(yBits)
+		cx := Closure(x, fds)
+		// Extensive.
+		if !cx.ContainsAll(x) {
+			return false
+		}
+		// Idempotent.
+		if !Closure(cx, fds).Equal(cx) {
+			return false
+		}
+		// Monotone.
+		if x.ContainsAll(y) {
+			if !cx.ContainsAll(Closure(y, fds)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickArmstrong: implication satisfies reflexivity, augmentation
+// and transitivity.
+func TestQuickArmstrong(t *testing.T) {
+	f := func(seed uint64) bool {
+		fds := randFDs(seed)
+		// Transitivity through the closure: if A→B and B→C are implied,
+		// then A→C is implied.
+		ab := Implies(fds, MustParseFD("A -> B"))
+		bc := Implies(fds, MustParseFD("B -> C"))
+		ac := Implies(fds, MustParseFD("A -> C"))
+		if ab && bc && !ac {
+			return false
+		}
+		// Reflexivity.
+		if !Implies(fds, MustParseFD("A B -> A")) {
+			return false
+		}
+		// Augmentation: A→B implies A C → B C.
+		if ab && !Implies(fds, MustParseFD("A C -> B C")) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDecomposeBCNF: every fragment of a decomposition is in BCNF
+// under the projected FDs, and attributes are preserved.
+func TestQuickDecomposeBCNF(t *testing.T) {
+	f := func(seed uint64) bool {
+		fds := randFDs(seed)
+		s := Schema{Name: "R", Attrs: NewAttrSet("A", "B", "C", "D")}
+		frags := Decompose(s, fds)
+		union := AttrSet{}
+		for _, fr := range frags {
+			union = union.Union(fr.Attrs)
+			if len(fr.Attrs) > 2 {
+				ok, _ := IsBCNF(fr, Project(fds, fr.Attrs))
+				if !ok {
+					t.Logf("fragment %v not BCNF under %v", fr, fds)
+					return false
+				}
+			}
+		}
+		return union.Equal(s.Attrs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMinimalCoverEquivalent: the minimal cover implies and is
+// implied by the original set.
+func TestQuickMinimalCoverEquivalent(t *testing.T) {
+	f := func(seed uint64) bool {
+		fds := randFDs(seed)
+		mc := MinimalCover(fds)
+		for _, g := range fds {
+			if !Implies(mc, g) {
+				return false
+			}
+		}
+		for _, g := range mc {
+			if !Implies(fds, g) {
+				return false
+			}
+			if len(g.RHS) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickKeysAreMinimalSuperkeys: every reported key is a superkey
+// and no proper subset is.
+func TestQuickKeysAreMinimalSuperkeys(t *testing.T) {
+	f := func(seed uint64) bool {
+		fds := randFDs(seed)
+		s := Schema{Name: "R", Attrs: NewAttrSet("A", "B", "C", "D")}
+		for _, k := range Keys(s, fds) {
+			if !IsSuperkey(k, s, fds) {
+				return false
+			}
+			for _, a := range k.Sorted() {
+				if IsSuperkey(k.Minus(NewAttrSet(a)), s, fds) && len(k) > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

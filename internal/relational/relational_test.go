@@ -1,0 +1,248 @@
+package relational
+
+import (
+	"math/rand"
+	"testing"
+
+	"xmlnorm/internal/xnf"
+)
+
+func TestClosureAndImplies(t *testing.T) {
+	fds := []FD{
+		MustParseFD("A -> B"),
+		MustParseFD("B -> C"),
+		MustParseFD("C D -> E"),
+	}
+	cl := Closure(NewAttrSet("A"), fds)
+	if !cl.Equal(NewAttrSet("A", "B", "C")) {
+		t.Errorf("A+ = %v", cl)
+	}
+	if !Implies(fds, MustParseFD("A -> C")) {
+		t.Error("A -> C should be implied")
+	}
+	if Implies(fds, MustParseFD("A -> E")) {
+		t.Error("A -> E should not be implied")
+	}
+	if !Implies(fds, MustParseFD("A D -> E")) {
+		t.Error("A D -> E should be implied")
+	}
+	if !Implies(nil, MustParseFD("A B -> A")) {
+		t.Error("trivial FD should be implied by nothing")
+	}
+}
+
+func TestKeys(t *testing.T) {
+	s := Schema{Name: "R", Attrs: NewAttrSet("A", "B", "C")}
+	fds := []FD{MustParseFD("A -> B"), MustParseFD("B -> C")}
+	keys := Keys(s, fds)
+	if len(keys) != 1 || !keys[0].Equal(NewAttrSet("A")) {
+		t.Errorf("keys = %v, want [A]", keys)
+	}
+	// Two keys: A -> B, B -> A.
+	fds2 := []FD{MustParseFD("A -> B"), MustParseFD("B -> A")}
+	s2 := Schema{Name: "R", Attrs: NewAttrSet("A", "B")}
+	keys2 := Keys(s2, fds2)
+	if len(keys2) != 2 {
+		t.Errorf("keys = %v, want two", keys2)
+	}
+}
+
+func TestIsBCNF(t *testing.T) {
+	// The canonical non-BCNF example: R(A, B, C) with A -> B.
+	s := Schema{Name: "R", Attrs: NewAttrSet("A", "B", "C")}
+	ok, viols := IsBCNF(s, []FD{MustParseFD("A -> B")})
+	if ok || len(viols) == 0 {
+		t.Error("R(A,B,C) with A->B should violate BCNF")
+	}
+	// With A -> B C it is in BCNF (A is a key).
+	ok, _ = IsBCNF(s, []FD{MustParseFD("A -> B C")})
+	if !ok {
+		t.Error("A->BC makes A a key; should be BCNF")
+	}
+	// No FDs: always BCNF.
+	ok, _ = IsBCNF(s, nil)
+	if !ok {
+		t.Error("no FDs should be BCNF")
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	s := Schema{Name: "R", Attrs: NewAttrSet("A", "B", "C")}
+	fds := []FD{MustParseFD("A -> B")}
+	frags := Decompose(s, fds)
+	if len(frags) != 2 {
+		t.Fatalf("fragments = %v", frags)
+	}
+	// Each fragment is in BCNF under the projected FDs, and the
+	// attributes union to the original (lossless-join by construction:
+	// the split is on X -> Y with X common).
+	union := AttrSet{}
+	for _, f := range frags {
+		union = union.Union(f.Attrs)
+		ok, _ := IsBCNF(f, Project(fds, f.Attrs))
+		if !ok {
+			t.Errorf("fragment %v not in BCNF", f)
+		}
+	}
+	if !union.Equal(s.Attrs) {
+		t.Errorf("attribute union = %v", union)
+	}
+}
+
+func TestDecomposeChain(t *testing.T) {
+	// R(A,B,C,D) with A->B, B->C: needs two splits.
+	s := Schema{Name: "R", Attrs: NewAttrSet("A", "B", "C", "D")}
+	fds := []FD{MustParseFD("A -> B"), MustParseFD("B -> C")}
+	frags := Decompose(s, fds)
+	if len(frags) < 2 {
+		t.Fatalf("fragments = %v", frags)
+	}
+	for _, f := range frags {
+		ok, viols := IsBCNF(f, Project(fds, f.Attrs))
+		if !ok {
+			t.Errorf("fragment %v not in BCNF: %v", f, viols)
+		}
+	}
+}
+
+func TestMinimalCover(t *testing.T) {
+	fds := []FD{
+		MustParseFD("A -> B C"),
+		MustParseFD("B -> C"),
+		MustParseFD("A B -> C"), // redundant, and B extraneous
+	}
+	mc := MinimalCover(fds)
+	// Equivalent to the original.
+	for _, f := range fds {
+		if !Implies(mc, f) {
+			t.Errorf("cover does not imply %v", f)
+		}
+	}
+	for _, f := range mc {
+		if !Implies(fds, f) {
+			t.Errorf("cover FD %v not implied by original", f)
+		}
+		if len(f.RHS) != 1 {
+			t.Errorf("cover FD %v has non-singleton RHS", f)
+		}
+	}
+	if len(mc) > 2 {
+		t.Errorf("cover %v should have at most 2 FDs", mc)
+	}
+}
+
+func TestParseFDErrors(t *testing.T) {
+	for _, s := range []string{"", "A", "A -> ", " -> B", "A -> B -> C"} {
+		if _, err := ParseFD(s); err == nil {
+			t.Errorf("ParseFD(%q) succeeded", s)
+		}
+	}
+}
+
+func TestAttrSetOps(t *testing.T) {
+	a := NewAttrSet("A", "B")
+	b := NewAttrSet("B", "C")
+	if got := a.Union(b); !got.Equal(NewAttrSet("A", "B", "C")) {
+		t.Errorf("union = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(NewAttrSet("B")) {
+		t.Errorf("intersect = %v", got)
+	}
+	if got := a.Minus(b); !got.Equal(NewAttrSet("A")) {
+		t.Errorf("minus = %v", got)
+	}
+	if a.String() != "A B" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+// TestExample53Encoding: the schema G(A, B, C) with A -> B encodes to
+// the DTD of Example 5.3, and the FD translates to
+// db.G.@A -> db.G.@B.
+func TestExample53Encoding(t *testing.T) {
+	s := Schema{Name: "G", Attrs: NewAttrSet("A", "B", "C")}
+	d, sigma, err := EncodeXML(s, []FD{MustParseFD("A -> B")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root() != "db" || d.Element("G") == nil {
+		t.Fatalf("bad encoding:\n%s", d)
+	}
+	if !d.Element("G").HasAttr("A") || d.Element("G").Kind != 0 /* EmptyContent */ {
+		t.Errorf("G should be EMPTY with attributes:\n%s", d)
+	}
+	found := false
+	for _, f := range sigma {
+		if f.String() == "db.G.@A -> db.G.@B" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing translated FD in %v", sigma)
+	}
+}
+
+// TestProposition4 checks BCNF ⇔ XNF on the canonical examples and on
+// randomized schemas.
+func TestProposition4(t *testing.T) {
+	check := func(s Schema, fds []FD) {
+		t.Helper()
+		bcnf, _ := IsBCNF(s, fds)
+		d, sigma, err := EncodeXML(s, fds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xnfOK, _, err := xnf.Check(xnf.Spec{DTD: d, FDs: sigma})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bcnf != xnfOK {
+			t.Errorf("Proposition 4 violated for %v / %v: BCNF=%v XNF=%v", s, fds, bcnf, xnfOK)
+		}
+	}
+	check(Schema{Name: "R", Attrs: NewAttrSet("A", "B", "C")}, []FD{MustParseFD("A -> B")})
+	check(Schema{Name: "R", Attrs: NewAttrSet("A", "B", "C")}, []FD{MustParseFD("A -> B C")})
+	check(Schema{Name: "R", Attrs: NewAttrSet("A", "B")}, nil)
+
+	// Randomized: small schemas, random FDs.
+	rng := rand.New(rand.NewSource(42))
+	names := []string{"A", "B", "C", "D"}
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(3)
+		attrs := NewAttrSet(names[:n]...)
+		var fds []FD
+		for i := 0; i < rng.Intn(3); i++ {
+			lhs := NewAttrSet(names[rng.Intn(n)])
+			if rng.Intn(2) == 0 {
+				lhs[names[rng.Intn(n)]] = true
+			}
+			rhs := NewAttrSet(names[rng.Intn(n)])
+			if rhs.ContainsAll(lhs) && lhs.ContainsAll(rhs) {
+				continue
+			}
+			fds = append(fds, FD{LHS: lhs, RHS: rhs})
+		}
+		check(Schema{Name: "R", Attrs: attrs}, fds)
+	}
+}
+
+// TestProposition4Decomposition: BCNF-decomposing and re-encoding each
+// fragment yields XNF specifications.
+func TestProposition4Decomposition(t *testing.T) {
+	s := Schema{Name: "R", Attrs: NewAttrSet("A", "B", "C", "D")}
+	fds := []FD{MustParseFD("A -> B"), MustParseFD("B -> C")}
+	for _, frag := range Decompose(s, fds) {
+		proj := Project(fds, frag.Attrs)
+		d, sigma, err := EncodeXML(frag, MinimalCover(proj))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, anomalies, err := xnf.Check(xnf.Spec{DTD: d, FDs: sigma})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("fragment %v encoding not in XNF: %v", frag, anomalies)
+		}
+	}
+}

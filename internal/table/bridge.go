@@ -1,0 +1,51 @@
+package table
+
+import (
+	"fmt"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/tuples"
+	"xmlnorm/internal/xmltree"
+)
+
+// FromTree builds the Codd table of tuples_D(T) over the given paths
+// (columns): one row per maximal tuple projection, with ⊥ for null
+// entries. Element-path columns hold vertex identifiers rendered as
+// "#id"; attribute and text columns hold string values.
+func FromTree(t *xmltree.Tree, paths []dtd.Path) *Relation {
+	cols := make([]string, len(paths))
+	for i, p := range paths {
+		cols[i] = p.String()
+	}
+	out := New(cols...)
+	for _, tup := range tuples.Projections(t, paths) {
+		row := make([]Val, len(paths))
+		for i, p := range paths {
+			v, ok := tup.Get(p)
+			switch {
+			case !ok:
+				row[i] = Null
+			case v.IsNode():
+				row[i] = V(fmt.Sprintf("#%d", v.Node()))
+			default:
+				row[i] = V(v.Str())
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return dedup(out)
+}
+
+// ValuePaths filters a path list to the attribute and text paths — the
+// value-carrying columns that the losslessness queries compare (node
+// identifiers are document-specific and are eliminated by the query Q2
+// of the commuting diagram).
+func ValuePaths(paths []dtd.Path) []dtd.Path {
+	var out []dtd.Path
+	for _, p := range paths {
+		if !p.IsElem() {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package table
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// randRelation builds a small Codd table from seed bits: 3 columns, up
+// to 6 rows, values from a 3-letter alphabet plus ⊥.
+func randRelation(seed uint64, cols ...string) *Relation {
+	r := New(cols...)
+	n := int(seed%6) + 1
+	seed /= 6
+	for i := 0; i < n; i++ {
+		row := make([]Val, len(cols))
+		for j := range cols {
+			v := seed % 4
+			seed = seed/4 ^ (seed * 2654435761)
+			if v == 3 {
+				row[j] = Null
+			} else {
+				row[j] = V(fmt.Sprintf("v%d", v))
+			}
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return r
+}
+
+// TestQuickProjectIdempotent: projecting twice onto the same columns is
+// the same as once.
+func TestQuickProjectIdempotent(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := randRelation(seed, "A", "B", "C")
+		p1 := Project(r, "A", "C")
+		p2 := Project(p1, "A", "C")
+		return Equal(p1, p2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickJoinCommutative: natural join is commutative up to column
+// order.
+func TestQuickJoinCommutative(t *testing.T) {
+	f := func(s1, s2 uint64) bool {
+		a := randRelation(s1, "K", "X")
+		b := randRelation(s2, "K", "Y")
+		return Equal(NaturalJoin(a, b), NaturalJoin(b, a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickUnionLaws: union is commutative and idempotent.
+func TestQuickUnionLaws(t *testing.T) {
+	f := func(s1, s2 uint64) bool {
+		a := randRelation(s1, "A", "B")
+		b := randRelation(s2, "A", "B")
+		ab, err1 := Union(a, b)
+		ba, err2 := Union(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if !Equal(ab, ba) {
+			return false
+		}
+		aa, err := Union(a, a)
+		if err != nil {
+			return false
+		}
+		return Equal(aa, Project(a, "A", "B"))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDiffLaws: a \ a = ∅ and (a ∪ b) \ b ⊆ a.
+func TestQuickDiffLaws(t *testing.T) {
+	f := func(s1, s2 uint64) bool {
+		a := randRelation(s1, "A", "B")
+		b := randRelation(s2, "A", "B")
+		if len(Diff(a, a).Rows) != 0 {
+			return false
+		}
+		u, err := Union(a, b)
+		if err != nil {
+			return false
+		}
+		d := Diff(u, b)
+		// Every remaining row must be in a.
+		aset := map[string]bool{}
+		for _, row := range Project(a, "A", "B").Rows {
+			aset[rowKey(row)] = true
+		}
+		for _, row := range d.Rows {
+			if !aset[rowKey(row)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSelectNeverNull: SelectEq never returns a row whose selected
+// column is ⊥ (Codd semantics), and selection commutes with itself.
+func TestQuickSelectNeverNull(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := randRelation(seed, "A", "B")
+		s := SelectEq(r, "A", "v1")
+		for _, row := range s.Rows {
+			if row[s.Col("A")].Null || row[s.Col("A")].S != "v1" {
+				return false
+			}
+		}
+		s2 := SelectEq(SelectEq(r, "A", "v1"), "B", "v0")
+		s3 := SelectEq(SelectEq(r, "B", "v0"), "A", "v1")
+		return Equal(s2, s3)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickJoinOnProjectionRecovers: for a relation with a non-null key
+// column, projecting onto (K, X) and (K, Y) and joining recovers at
+// least all original non-null rows — the classical lossless-join shape
+// used by Proposition 8.
+func TestQuickJoinOnProjectionRecovers(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := randRelation(seed, "K", "X", "Y")
+		// Keep only rows with a known, unique key.
+		seen := map[string]bool{}
+		clean := New("K", "X", "Y")
+		for _, row := range r.Rows {
+			if row[0].Null || seen[row[0].S] {
+				continue
+			}
+			seen[row[0].S] = true
+			clean.Rows = append(clean.Rows, row)
+		}
+		left := Project(clean, "K", "X")
+		right := Project(clean, "K", "Y")
+		j := NaturalJoin(left, right)
+		// Every clean row with non-null X and Y reappears.
+		jset := map[string]bool{}
+		for _, row := range j.Rows {
+			jset[rowKey(row)] = true
+		}
+		for _, row := range clean.Rows {
+			if row[1].Null || row[2].Null {
+				continue // nulls do not join; Codd semantics
+			}
+			want := rowKey([]Val{row[0], row[1], row[2]})
+			if !jset[want] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,327 @@
+// Package table implements Codd tables: relations over named columns
+// whose cells may hold the null ⊥, with the relational algebra
+// evaluated under the Codd-table semantics the paper refers to for its
+// losslessness definition (Section 6): nulls are unknown values, so a
+// null never satisfies a selection predicate and never joins.
+//
+// The tuples_D(T) representation of an XML document is naturally such a
+// table (tree tuples assign ⊥ to absent paths), and the queries
+// Q1, Q1', Q2 of the losslessness diagram (Proposition 8) are composed
+// from these operators; see the lossless example and tests in
+// internal/xnf and examples/.
+package table
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Val is a cell value: a string or ⊥.
+type Val struct {
+	Null bool
+	S    string
+}
+
+// V returns a non-null value.
+func V(s string) Val { return Val{S: s} }
+
+// Null is the ⊥ cell.
+var Null = Val{Null: true}
+
+// String renders the value, ⊥ for null.
+func (v Val) String() string {
+	if v.Null {
+		return "⊥"
+	}
+	return v.S
+}
+
+// Equal is *syntactic* equality of cells (⊥ = ⊥). Predicates use
+// EqKnown instead, which is the Codd-table comparison.
+func (v Val) Equal(o Val) bool { return v == o }
+
+// EqKnown reports that both cells are known and equal — the semantics
+// of equality predicates over Codd tables.
+func (v Val) EqKnown(o Val) bool { return !v.Null && !o.Null && v.S == o.S }
+
+// Relation is a Codd table: an ordered list of column names and rows of
+// cells.
+type Relation struct {
+	Cols []string
+	Rows [][]Val
+}
+
+// New builds an empty relation with the given columns.
+func New(cols ...string) *Relation {
+	return &Relation{Cols: append([]string{}, cols...)}
+}
+
+// AddRow appends a row; the number of cells must match the columns.
+func (r *Relation) AddRow(cells ...Val) error {
+	if len(cells) != len(r.Cols) {
+		return fmt.Errorf("table: %d cells for %d columns", len(cells), len(r.Cols))
+	}
+	r.Rows = append(r.Rows, append([]Val{}, cells...))
+	return nil
+}
+
+// MustAddRow panics on arity mismatch; for tests and literals.
+func (r *Relation) MustAddRow(cells ...Val) *Relation {
+	if err := r.AddRow(cells...); err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Col returns the index of a column, or -1.
+func (r *Relation) Col(name string) int {
+	for i, c := range r.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Clone deep-copies the relation.
+func (r *Relation) Clone() *Relation {
+	c := New(r.Cols...)
+	for _, row := range r.Rows {
+		c.Rows = append(c.Rows, append([]Val{}, row...))
+	}
+	return c
+}
+
+// String renders the table for debugging, rows sorted canonically.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Cols, " | "))
+	b.WriteByte('\n')
+	lines := make([]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		lines = append(lines, strings.Join(parts, " | "))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Equal compares two relations as sets of rows over the same columns
+// (column order normalized).
+func Equal(a, b *Relation) bool {
+	if len(a.Cols) != len(b.Cols) {
+		return false
+	}
+	bCols := append([]string{}, b.Cols...)
+	sort.Strings(bCols)
+	aCols := append([]string{}, a.Cols...)
+	sort.Strings(aCols)
+	for i := range aCols {
+		if aCols[i] != bCols[i] {
+			return false
+		}
+	}
+	// Project both onto a's column order (which also deduplicates, since
+	// relations are sets) and compare canonical row sets.
+	ap := Project(a, a.Cols...)
+	bp := Project(b, a.Cols...)
+	return canonRows(ap) == canonRows(bp)
+}
+
+func canonRows(r *Relation) string {
+	lines := make([]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		lines = append(lines, strings.Join(parts, "\x00"))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\x01")
+}
+
+// Project returns the relation restricted to the named columns (with
+// duplicate rows removed, as usual under set semantics).
+func Project(r *Relation, cols ...string) *Relation {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		idx[i] = r.Col(c)
+		if idx[i] < 0 {
+			return New(cols...) // unknown column: empty result
+		}
+	}
+	out := New(cols...)
+	seen := map[string]bool{}
+	for _, row := range r.Rows {
+		nr := make([]Val, len(cols))
+		for i, j := range idx {
+			nr[i] = row[j]
+		}
+		k := rowKey(nr)
+		if !seen[k] {
+			seen[k] = true
+			out.Rows = append(out.Rows, nr)
+		}
+	}
+	return out
+}
+
+func rowKey(row []Val) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// Select returns the rows satisfying the predicate.
+func Select(r *Relation, pred func(row map[string]Val) bool) *Relation {
+	out := New(r.Cols...)
+	for _, row := range r.Rows {
+		m := map[string]Val{}
+		for i, c := range r.Cols {
+			m[c] = row[i]
+		}
+		if pred(m) {
+			out.Rows = append(out.Rows, append([]Val{}, row...))
+		}
+	}
+	return out
+}
+
+// SelectEq selects rows where the column equals the (known) value;
+// null cells never qualify (Codd semantics).
+func SelectEq(r *Relation, col, value string) *Relation {
+	return Select(r, func(row map[string]Val) bool {
+		return row[col].EqKnown(V(value))
+	})
+}
+
+// SelectNotNull keeps rows whose named columns are all known.
+func SelectNotNull(r *Relation, cols ...string) *Relation {
+	return Select(r, func(row map[string]Val) bool {
+		for _, c := range cols {
+			if row[c].Null {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// Rename returns the relation with one column renamed.
+func Rename(r *Relation, from, to string) *Relation {
+	out := r.Clone()
+	for i, c := range out.Cols {
+		if c == from {
+			out.Cols[i] = to
+		}
+	}
+	return out
+}
+
+// NaturalJoin joins on all shared columns; ⊥ never matches anything
+// (including ⊥), per Codd-table evaluation.
+func NaturalJoin(a, b *Relation) *Relation {
+	var shared []string
+	for _, c := range a.Cols {
+		if b.Col(c) >= 0 {
+			shared = append(shared, c)
+		}
+	}
+	cols := append([]string{}, a.Cols...)
+	for _, c := range b.Cols {
+		if a.Col(c) < 0 {
+			cols = append(cols, c)
+		}
+	}
+	out := New(cols...)
+	for _, ra := range a.Rows {
+		for _, rb := range b.Rows {
+			match := true
+			for _, c := range shared {
+				if !ra[a.Col(c)].EqKnown(rb[b.Col(c)]) {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			row := make([]Val, 0, len(cols))
+			row = append(row, ra...)
+			for _, c := range b.Cols {
+				if a.Col(c) < 0 {
+					row = append(row, rb[b.Col(c)])
+				}
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return dedup(out)
+}
+
+// Union returns the set union; the relations must share columns.
+func Union(a, b *Relation) (*Relation, error) {
+	if len(a.Cols) != len(b.Cols) {
+		return nil, fmt.Errorf("table: union arity mismatch")
+	}
+	bp := Project(b, a.Cols...)
+	if len(bp.Cols) != len(a.Cols) {
+		return nil, fmt.Errorf("table: union column mismatch")
+	}
+	out := a.Clone()
+	out.Rows = append(out.Rows, bp.Rows...)
+	return dedup(out), nil
+}
+
+// Diff returns a \ b under syntactic row equality.
+func Diff(a, b *Relation) *Relation {
+	bp := Project(b, a.Cols...)
+	drop := map[string]bool{}
+	for _, row := range bp.Rows {
+		drop[rowKey(row)] = true
+	}
+	out := New(a.Cols...)
+	for _, row := range a.Rows {
+		if !drop[rowKey(row)] {
+			out.Rows = append(out.Rows, append([]Val{}, row...))
+		}
+	}
+	return out
+}
+
+// Extend adds a column computed from each row.
+func Extend(r *Relation, col string, f func(row map[string]Val) Val) *Relation {
+	out := New(append(append([]string{}, r.Cols...), col)...)
+	for _, row := range r.Rows {
+		m := map[string]Val{}
+		for i, c := range r.Cols {
+			m[c] = row[i]
+		}
+		out.Rows = append(out.Rows, append(append([]Val{}, row...), f(m)))
+	}
+	return out
+}
+
+func dedup(r *Relation) *Relation {
+	seen := map[string]bool{}
+	out := New(r.Cols...)
+	for _, row := range r.Rows {
+		k := rowKey(row)
+		if !seen[k] {
+			seen[k] = true
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}

@@ -1,0 +1,386 @@
+package tuples
+
+import (
+	"fmt"
+	"sort"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/xmltree"
+)
+
+// MaxTuples bounds tuple materialization: TuplesOf returns an error when
+// a tree has more maximal tuples than this default cap (the number is
+// the product, over element nodes, of the per-label child counts, which
+// can grow exponentially with depth). Callers with larger needs pass
+// their own cap.
+const MaxTuples = 1 << 20
+
+// CountTuples returns the number of maximal tree tuples of the tree,
+// capped at the given limit (≤ 0 means MaxTuples).
+func CountTuples(t *xmltree.Tree, cap int) int {
+	if cap <= 0 {
+		cap = MaxTuples
+	}
+	var count func(n *xmltree.Node) int
+	count = func(n *xmltree.Node) int {
+		total := 1
+		for _, group := range childGroups(n) {
+			sub := 0
+			for _, c := range group {
+				sub += count(c)
+				if sub >= cap {
+					return cap
+				}
+			}
+			total *= sub
+			if total >= cap {
+				return cap
+			}
+		}
+		return total
+	}
+	return count(t.Root)
+}
+
+// childGroups partitions a node's children by label, in first-occurrence
+// order.
+func childGroups(n *xmltree.Node) [][]*xmltree.Node {
+	var order []string
+	groups := map[string][]*xmltree.Node{}
+	for _, c := range n.Children {
+		if _, ok := groups[c.Label]; !ok {
+			order = append(order, c.Label)
+		}
+		groups[c.Label] = append(groups[c.Label], c)
+	}
+	out := make([][]*xmltree.Node, len(order))
+	for i, l := range order {
+		out[i] = groups[l]
+	}
+	return out
+}
+
+// TuplesOf computes tuples_D(T) (Definition 6): the maximal tree tuples
+// of the tree. The DTD is not needed to extract them — for any T ◁ D the
+// maximal tuples are determined by T alone (each tuple picks one child
+// per label at every node it contains) — but the result is only
+// meaningful when T is compatible with the DTD at hand.
+//
+// cap bounds the number of tuples (≤ 0 means MaxTuples); exceeding it is
+// an error, so callers never silently truncate.
+func TuplesOf(t *xmltree.Tree, cap int) ([]Tuple, error) {
+	if cap <= 0 {
+		cap = MaxTuples
+	}
+	if n := CountTuples(t, cap); n >= cap {
+		return nil, fmt.Errorf("tuples: tree has ≥ %d maximal tuples (cap %d)", n, cap)
+	}
+	var enum func(n *xmltree.Node, path string) []Tuple
+	enum = func(n *xmltree.Node, path string) []Tuple {
+		base := Tuple{path: NodeValue(n.ID)}
+		for a, v := range n.Attrs {
+			base[path+".@"+a] = StringValue(v)
+		}
+		if n.HasText {
+			base[path+"."+dtd.TextStep] = StringValue(n.Text)
+		}
+		acc := []Tuple{base}
+		for _, group := range childGroups(n) {
+			childPath := path + "." + group[0].Label
+			var alts []Tuple
+			for _, c := range group {
+				alts = append(alts, enum(c, childPath)...)
+			}
+			// Cross product: extend every accumulated tuple with every
+			// alternative for this label.
+			next := make([]Tuple, 0, len(acc)*len(alts))
+			for _, t := range acc {
+				for _, a := range alts {
+					merged := t.Clone()
+					for k, v := range a {
+						merged[k] = v
+					}
+					next = append(next, merged)
+				}
+			}
+			acc = next
+		}
+		return acc
+	}
+	return enum(t.Root, t.Root.Label), nil
+}
+
+// TreeOf computes tree_D(t) (Definition 5): the XML tree induced by the
+// non-null values of a tuple. Children are ordered lexicographically by
+// path step, as in the paper. The tuple must satisfy Definition 4
+// (Validate) with respect to the DTD.
+func TreeOf(d *dtd.DTD, t Tuple) (*xmltree.Tree, error) {
+	if err := t.Validate(d); err != nil {
+		return nil, err
+	}
+	return buildTree(d.Root(), t)
+}
+
+// buildTree assembles the tree for the (already validated) tuple.
+func buildTree(root string, t Tuple) (*xmltree.Tree, error) {
+	// Group entries by parent element path.
+	nodes := map[string]*xmltree.Node{} // element path -> node
+	var paths []string
+	for k, v := range t {
+		if v.IsNode() {
+			p := dtd.MustParsePath(k)
+			nodes[k] = &xmltree.Node{ID: v.Node(), Label: p.Last()}
+		}
+		paths = append(paths, k)
+	}
+	sort.Strings(paths) // lexicographic order gives the paper's child order
+	for _, k := range paths {
+		v := t[k]
+		p := dtd.MustParsePath(k)
+		parent := p.Parent()
+		if parent == nil {
+			continue
+		}
+		pn := nodes[parent.String()]
+		if pn == nil {
+			return nil, fmt.Errorf("tuples: path %q has no parent node", k)
+		}
+		switch {
+		case v.IsNode():
+			pn.Children = append(pn.Children, nodes[k])
+		case p.IsAttr():
+			pn.SetAttr(p.Last()[1:], v.Str())
+		default: // text step
+			pn.Text = v.Str()
+			pn.HasText = true
+		}
+	}
+	rootNode := nodes[root]
+	if rootNode == nil {
+		return nil, fmt.Errorf("tuples: tuple has no root vertex")
+	}
+	return xmltree.NewTree(rootNode), nil
+}
+
+// TreesOf computes a representative of trees_D(X) (Definition 7): the
+// minimal tree (up to ≡) containing every tuple of X, obtained by gluing
+// tuples on shared vertices. It fails if X is inconsistent: the same
+// vertex with different labels, attribute values, text, or parents — in
+// that case no tree contains all tuples and trees_D(X) is empty.
+func TreesOf(d *dtd.DTD, X []Tuple) (*xmltree.Tree, error) {
+	if len(X) == 0 {
+		return nil, fmt.Errorf("tuples: trees_D of an empty set")
+	}
+	type nodeInfo struct {
+		node   *xmltree.Node
+		path   string
+		parent xmltree.NodeID // 0 for the root
+	}
+	infos := map[xmltree.NodeID]*nodeInfo{}
+	var rootID xmltree.NodeID
+	haveRoot := false
+
+	for i, t := range X {
+		if err := t.Validate(d); err != nil {
+			return nil, fmt.Errorf("tuples: X[%d]: %v", i, err)
+		}
+		// First pass: vertices.
+		for k, v := range t {
+			if !v.IsNode() {
+				continue
+			}
+			p := dtd.MustParsePath(k)
+			info := infos[v.Node()]
+			if info == nil {
+				info = &nodeInfo{node: &xmltree.Node{ID: v.Node(), Label: p.Last()}, path: k}
+				infos[v.Node()] = info
+			} else if info.path != k {
+				return nil, fmt.Errorf("tuples: vertex #%d occurs at %q and %q", v.Node(), info.path, k)
+			}
+			if p.Parent() == nil {
+				if haveRoot && rootID != v.Node() {
+					return nil, fmt.Errorf("tuples: two distinct roots #%d and #%d", rootID, v.Node())
+				}
+				rootID, haveRoot = v.Node(), true
+			}
+		}
+		// Second pass: attributes, text, and parent edges.
+		for k, v := range t {
+			p := dtd.MustParsePath(k)
+			parent := p.Parent()
+			if parent == nil {
+				continue
+			}
+			parentVal, ok := t[parent.String()]
+			if !ok || !parentVal.IsNode() {
+				return nil, fmt.Errorf("tuples: %q without parent vertex", k)
+			}
+			pinfo := infos[parentVal.Node()]
+			switch {
+			case v.IsNode():
+				info := infos[v.Node()]
+				if info.parent == 0 {
+					info.parent = parentVal.Node()
+				} else if info.parent != parentVal.Node() {
+					return nil, fmt.Errorf("tuples: vertex #%d has two parents", v.Node())
+				}
+			case p.IsAttr():
+				name := p.Last()[1:]
+				if prev, ok := pinfo.node.Attr(name); ok && prev != v.Str() {
+					return nil, fmt.Errorf("tuples: vertex #%d attribute %s has values %q and %q",
+						parentVal.Node(), name, prev, v.Str())
+				}
+				pinfo.node.SetAttr(name, v.Str())
+			default:
+				if pinfo.node.HasText && pinfo.node.Text != v.Str() {
+					return nil, fmt.Errorf("tuples: vertex #%d has texts %q and %q",
+						parentVal.Node(), pinfo.node.Text, v.Str())
+				}
+				pinfo.node.Text = v.Str()
+				pinfo.node.HasText = true
+			}
+		}
+	}
+	if !haveRoot {
+		return nil, fmt.Errorf("tuples: no root vertex in X")
+	}
+	// Attach children to parents, deduplicated, in a deterministic order:
+	// by path then vertex ID.
+	ids := make([]xmltree.NodeID, 0, len(infos))
+	for id := range infos {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := infos[ids[i]], infos[ids[j]]
+		if a.path != b.path {
+			return a.path < b.path
+		}
+		return ids[i] < ids[j]
+	})
+	for _, id := range ids {
+		info := infos[id]
+		if info.parent == 0 {
+			continue
+		}
+		infos[info.parent].node.Children = append(infos[info.parent].node.Children, info.node)
+	}
+	return xmltree.NewTree(infos[rootID].node), nil
+}
+
+// relevant is the prefix-closed tree of a set of query paths, used to
+// enumerate projections without materializing full tuples.
+type relevant struct {
+	wanted   bool // the path itself is requested
+	attrs    []string
+	wantText bool
+	kids     map[string]*relevant
+	kidOrder []string
+}
+
+func buildRelevant(paths []dtd.Path) *relevant {
+	root := &relevant{kids: map[string]*relevant{}}
+	for _, p := range paths {
+		cur := root
+		for i := 1; i < len(p); i++ {
+			step := p[i]
+			if i == len(p)-1 && strings0(step) == '@' {
+				cur.attrs = append(cur.attrs, step[1:])
+				goto next
+			}
+			if i == len(p)-1 && step == dtd.TextStep {
+				cur.wantText = true
+				goto next
+			}
+			k := cur.kids[step]
+			if k == nil {
+				k = &relevant{kids: map[string]*relevant{}}
+				cur.kids[step] = k
+				cur.kidOrder = append(cur.kidOrder, step)
+			}
+			cur = k
+		}
+		cur.wanted = true
+	next:
+	}
+	return root
+}
+
+func strings0(s string) byte {
+	if s == "" {
+		return 0
+	}
+	return s[0]
+}
+
+// Projections enumerates the restrictions of the maximal tuples of the
+// tree to the given paths, without duplicates. All paths must start at
+// the root label. This is how FD satisfaction is checked without
+// materializing the full (possibly exponential) tuple set: branches of
+// the tree not mentioned by any path cannot affect the projection.
+func Projections(t *xmltree.Tree, paths []dtd.Path) []Tuple {
+	for _, p := range paths {
+		if len(p) == 0 || p[0] != t.Root.Label {
+			return nil
+		}
+	}
+	rel := buildRelevant(paths)
+	// Does the root itself appear as a requested path?
+	for _, p := range paths {
+		if len(p) == 1 {
+			rel.wanted = true
+		}
+	}
+	var enum func(n *xmltree.Node, path string, r *relevant) []Tuple
+	enum = func(n *xmltree.Node, path string, r *relevant) []Tuple {
+		base := Tuple{}
+		if r.wanted {
+			base[path] = NodeValue(n.ID)
+		}
+		for _, a := range r.attrs {
+			if v, ok := n.Attr(a); ok {
+				base[path+".@"+a] = StringValue(v)
+			}
+		}
+		if r.wantText && n.HasText {
+			base[path+"."+dtd.TextStep] = StringValue(n.Text)
+		}
+		acc := []Tuple{base}
+		for _, label := range r.kidOrder {
+			kr := r.kids[label]
+			kids := n.ChildrenLabelled(label)
+			if len(kids) == 0 {
+				continue // whole branch is ⊥
+			}
+			var alts []Tuple
+			for _, c := range kids {
+				alts = append(alts, enum(c, path+"."+label, kr)...)
+			}
+			next := make([]Tuple, 0, len(acc)*len(alts))
+			for _, t := range acc {
+				for _, a := range alts {
+					merged := t.Clone()
+					for k, v := range a {
+						merged[k] = v
+					}
+					next = append(next, merged)
+				}
+			}
+			acc = next
+		}
+		return dedup(acc)
+	}
+	return enum(t.Root, t.Root.Label, rel)
+}
+
+func dedup(ts []Tuple) []Tuple {
+	seen := map[string]bool{}
+	out := ts[:0]
+	for _, t := range ts {
+		c := t.Canonical()
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package tuples_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/gen"
+	"xmlnorm/internal/tuples"
+	"xmlnorm/internal/xmltree"
+)
+
+// quickDTDs is a pool of structurally diverse non-recursive DTDs used by
+// the property tests.
+func quickDTDs() []*dtd.DTD {
+	return []*dtd.DTD{
+		gen.ChainDTD(3, 2),
+		gen.WideDTD(3, 1),
+		gen.DisjunctiveDTD(2, 2),
+		dtd.MustParse(`
+<!ELEMENT r (a*, b?)>
+<!ELEMENT a (c+)>
+<!ATTLIST a k CDATA #REQUIRED>
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT c EMPTY>
+<!ATTLIST c v CDATA #REQUIRED>`),
+	}
+}
+
+// TestQuickTheorem1 property-tests trees_D(tuples_D(T)) ≡ T over random
+// conforming documents of random DTDs.
+func TestQuickTheorem1(t *testing.T) {
+	pool := quickDTDs()
+	f := func(seed int64, pick uint8) bool {
+		d := pool[int(pick)%len(pool)]
+		doc, err := gen.Document(d, rand.New(rand.NewSource(seed)), 2, 3)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		ts, err := tuples.TuplesOf(doc, 1<<16)
+		if err != nil {
+			return true // over cap: property not applicable
+		}
+		back, err := tuples.TreesOf(d, ts)
+		if err != nil {
+			t.Logf("TreesOf: %v", err)
+			return false
+		}
+		if !xmltree.Equivalent(back, doc) {
+			t.Logf("round trip broke ≡ for seed %d:\n%s", seed, doc)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTuplesValid: every extracted tuple satisfies Definition 4.
+func TestQuickTuplesValid(t *testing.T) {
+	pool := quickDTDs()
+	f := func(seed int64, pick uint8) bool {
+		d := pool[int(pick)%len(pool)]
+		doc, err := gen.Document(d, rand.New(rand.NewSource(seed)), 2, 3)
+		if err != nil {
+			return false
+		}
+		ts, err := tuples.TuplesOf(doc, 1<<16)
+		if err != nil {
+			return true
+		}
+		for _, tup := range ts {
+			if err := tup.Validate(d); err != nil {
+				t.Logf("invalid tuple: %v", err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMonotonicity: pruning children of the root yields a subsumed
+// tree whose tuples are ⊑* the original's (Proposition 2).
+func TestQuickMonotonicity(t *testing.T) {
+	pool := quickDTDs()
+	f := func(seed int64, pick uint8, keep uint8) bool {
+		d := pool[int(pick)%len(pool)]
+		doc, err := gen.Document(d, rand.New(rand.NewSource(seed)), 2, 3)
+		if err != nil {
+			return false
+		}
+		n := len(doc.Root.Children)
+		if n == 0 {
+			return true
+		}
+		k := int(keep)%n + 1
+		pruned := &xmltree.Tree{Root: &xmltree.Node{
+			ID: doc.Root.ID, Label: doc.Root.Label, Attrs: doc.Root.Attrs,
+			Children: doc.Root.Children[:k],
+		}}
+		if !xmltree.Subsumed(pruned, doc) {
+			return false
+		}
+		t1, err1 := tuples.TuplesOf(pruned, 1<<16)
+		t2, err2 := tuples.TuplesOf(doc, 1<<16)
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		return tuples.SetLE(t1, t2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickProjectionAgreement: Projections equals projecting the full
+// tuple set, for random path subsets.
+func TestQuickProjectionAgreement(t *testing.T) {
+	pool := quickDTDs()
+	f := func(seed int64, pick uint8, mask uint16) bool {
+		d := pool[int(pick)%len(pool)]
+		doc, err := gen.Document(d, rand.New(rand.NewSource(seed)), 2, 3)
+		if err != nil {
+			return false
+		}
+		all, err := d.Paths()
+		if err != nil {
+			return false
+		}
+		var paths []dtd.Path
+		for i, p := range all {
+			if mask&(1<<(i%16)) != 0 {
+				paths = append(paths, p)
+			}
+		}
+		if len(paths) == 0 {
+			return true
+		}
+		full, err := tuples.TuplesOf(doc, 1<<16)
+		if err != nil {
+			return true
+		}
+		want := map[string]bool{}
+		for _, tup := range full {
+			want[tup.Project(paths).Canonical()] = true
+		}
+		got := map[string]bool{}
+		for _, tup := range tuples.Projections(doc, paths) {
+			got[tup.Canonical()] = true
+		}
+		if len(got) != len(want) {
+			t.Logf("projection mismatch: got %d want %d", len(got), len(want))
+			return false
+		}
+		for k := range want {
+			if !got[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOrderingLaws: ⊑ is a partial order on tuples and LE/Equal
+// agree.
+func TestQuickOrderingLaws(t *testing.T) {
+	mk := func(bits uint8) tuples.Tuple {
+		tup := tuples.Tuple{"r": tuples.NodeValue(1)}
+		if bits&1 != 0 {
+			tup["r.@a"] = tuples.StringValue("x")
+		}
+		if bits&2 != 0 {
+			tup["r.@b"] = tuples.StringValue("y")
+		}
+		if bits&4 != 0 {
+			tup["r.c"] = tuples.NodeValue(2)
+		}
+		return tup
+	}
+	f := func(a, b, c uint8) bool {
+		ta, tb, tc := mk(a), mk(b), mk(c)
+		// Reflexivity.
+		if !ta.LE(ta) {
+			return false
+		}
+		// Antisymmetry.
+		if ta.LE(tb) && tb.LE(ta) && !ta.Equal(tb) {
+			return false
+		}
+		// Transitivity.
+		if ta.LE(tb) && tb.LE(tc) && !ta.LE(tc) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,209 @@
+// Package tuples implements the tree-tuple representation of XML trees
+// from Section 3 of Arenas & Libkin (PODS 2002): Definitions 4-7 and the
+// operators tree_D(t), tuples_D(T) and trees_D(X).
+//
+// A tree tuple assigns to each path of a DTD a vertex (for element
+// paths) or a string (for attribute and text paths), or the null ⊥.
+// Tuples are represented as maps from dotted paths to values; a path
+// absent from the map has value ⊥. The paper's conditions (vertices
+// occur at a single path; ⊥ propagates downward; finitely many non-null
+// values) hold by construction for every tuple produced here and are
+// checkable with Validate.
+package tuples
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/xmltree"
+)
+
+// Value is a non-null tree-tuple value: a vertex or a string.
+type Value struct {
+	node   xmltree.NodeID
+	str    string
+	isNode bool
+}
+
+// NodeValue returns a vertex value.
+func NodeValue(id xmltree.NodeID) Value { return Value{node: id, isNode: true} }
+
+// StringValue returns a string value.
+func StringValue(s string) Value { return Value{str: s} }
+
+// IsNode reports whether the value is a vertex.
+func (v Value) IsNode() bool { return v.isNode }
+
+// Node returns the vertex ID; valid only when IsNode.
+func (v Value) Node() xmltree.NodeID { return v.node }
+
+// Str returns the string; valid only when not IsNode.
+func (v Value) Str() string { return v.str }
+
+// Equal reports value equality (vertex IDs or strings).
+func (v Value) Equal(o Value) bool { return v == o }
+
+// String renders the value for debugging: vertices as #id, strings
+// quoted.
+func (v Value) String() string {
+	if v.isNode {
+		return fmt.Sprintf("#%d", v.node)
+	}
+	return fmt.Sprintf("%q", v.str)
+}
+
+// Tuple is a tree tuple: a map from dotted paths to values, with absent
+// keys meaning ⊥.
+type Tuple map[string]Value
+
+// Get returns the value at the path and whether it is non-null.
+func (t Tuple) Get(p dtd.Path) (Value, bool) {
+	v, ok := t[p.String()]
+	return v, ok
+}
+
+// Null reports whether the path is ⊥ in the tuple.
+func (t Tuple) Null(p dtd.Path) bool {
+	_, ok := t[p.String()]
+	return !ok
+}
+
+// Paths returns the non-null paths in sorted order.
+func (t Tuple) Paths() []string {
+	out := make([]string, 0, len(t))
+	for p := range t {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	for k, v := range t {
+		c[k] = v
+	}
+	return c
+}
+
+// Project restricts the tuple to the given paths (null entries are
+// dropped).
+func (t Tuple) Project(paths []dtd.Path) Tuple {
+	out := Tuple{}
+	for _, p := range paths {
+		if v, ok := t[p.String()]; ok {
+			out[p.String()] = v
+		}
+	}
+	return out
+}
+
+// Canonical renders the tuple deterministically, for deduplication and
+// test comparison. Vertex identities are included.
+func (t Tuple) Canonical() string {
+	keys := t.Paths()
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(t[k].String())
+	}
+	return b.String()
+}
+
+// CanonicalValues is Canonical with vertex IDs erased (every vertex
+// renders as "#"): two tuples with the same CanonicalValues carry the
+// same string information on the same paths.
+func (t Tuple) CanonicalValues() string {
+	keys := t.Paths()
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		if t[k].IsNode() {
+			b.WriteByte('#')
+		} else {
+			b.WriteString(t[k].String())
+		}
+	}
+	return b.String()
+}
+
+// LE reports t ⊑ o: whenever t.p is non-null, o.p equals it.
+func (t Tuple) LE(o Tuple) bool {
+	for k, v := range t {
+		ov, ok := o[k]
+		if !ok || !ov.Equal(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports equality as partial functions.
+func (t Tuple) Equal(o Tuple) bool { return len(t) == len(o) && t.LE(o) }
+
+// SetLE reports X ⊑* Y: every tuple of X is ⊑ some tuple of Y.
+func SetLE(x, y []Tuple) bool {
+	for _, t := range x {
+		ok := false
+		for _, u := range y {
+			if t.LE(u) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the tree-tuple conditions of Definition 4 against a
+// DTD: every non-null path is a path of D, element paths carry vertices
+// and attribute/text paths strings, the root is non-null, a vertex
+// occurs at one path only, and prefixes of non-null paths are non-null
+// (the contrapositive of downward ⊥ propagation).
+func (t Tuple) Validate(d *dtd.DTD) error {
+	if len(t) == 0 {
+		return fmt.Errorf("tuples: empty tuple (t.r must be non-null)")
+	}
+	if _, ok := t[d.Root()]; !ok {
+		return fmt.Errorf("tuples: t.%s is null", d.Root())
+	}
+	seen := map[xmltree.NodeID]string{}
+	for k, v := range t {
+		p, err := dtd.ParsePath(k)
+		if err != nil {
+			return fmt.Errorf("tuples: bad path %q: %v", k, err)
+		}
+		if !d.IsPath(p) {
+			return fmt.Errorf("tuples: %q is not a path of the DTD", k)
+		}
+		if p.IsElem() != v.IsNode() {
+			return fmt.Errorf("tuples: path %q has wrong value kind %s", k, v)
+		}
+		if v.IsNode() {
+			if prev, dup := seen[v.Node()]; dup {
+				return fmt.Errorf("tuples: vertex %s occurs at %q and %q", v, prev, k)
+			}
+			seen[v.Node()] = k
+		}
+		if parent := p.Parent(); parent != nil {
+			if _, ok := t[parent.String()]; !ok {
+				return fmt.Errorf("tuples: %q is non-null but its prefix %q is null", k, parent)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,445 @@
+package tuples
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/xmltree"
+)
+
+func load(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("../../testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func coursesFixture(t *testing.T) (*dtd.DTD, *xmltree.Tree) {
+	t.Helper()
+	d, err := dtd.Parse(load(t, "courses.dtd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := xmltree.ParseString(load(t, "courses.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, tree
+}
+
+func TestCountTuples(t *testing.T) {
+	_, tree := coursesFixture(t)
+	// 2 courses, each with 2 students: 2 (course choice) × 2 (student
+	// choice within the chosen course) = 4 maximal tuples.
+	if got := CountTuples(tree, 0); got != 4 {
+		t.Errorf("CountTuples = %d, want 4", got)
+	}
+	single := xmltree.MustParseString(`<a><b/><b/><c/><c/><c/></a>`)
+	if got := CountTuples(single, 0); got != 6 {
+		t.Errorf("CountTuples = %d, want 6", got)
+	}
+	if got := CountTuples(single, 4); got != 4 {
+		t.Errorf("CountTuples capped = %d, want 4", got)
+	}
+}
+
+func TestTuplesOfCourses(t *testing.T) {
+	d, tree := coursesFixture(t)
+	ts, err := TuplesOf(tree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 4 {
+		t.Fatalf("got %d tuples, want 4", len(ts))
+	}
+	// Every tuple is a valid tree tuple of D (Definition 4).
+	for i, tup := range ts {
+		if err := tup.Validate(d); err != nil {
+			t.Errorf("tuple %d invalid: %v", i, err)
+		}
+		// 12 paths per tuple: the full chain of Figure 2.
+		if len(tup) != 12 {
+			t.Errorf("tuple %d has %d non-null paths, want 12", i, len(tup))
+		}
+	}
+	// The (cno, sno, name, grade) combinations must be exactly those of
+	// Figure 1(a).
+	var combos []string
+	for _, tup := range ts {
+		cno, _ := tup.Get(dtd.MustParsePath("courses.course.@cno"))
+		sno, _ := tup.Get(dtd.MustParsePath("courses.course.taken_by.student.@sno"))
+		name, _ := tup.Get(dtd.MustParsePath("courses.course.taken_by.student.name.S"))
+		grade, _ := tup.Get(dtd.MustParsePath("courses.course.taken_by.student.grade.S"))
+		combos = append(combos, strings.Join([]string{cno.Str(), sno.Str(), name.Str(), grade.Str()}, "|"))
+	}
+	sort.Strings(combos)
+	want := []string{
+		"csc200|st1|Deere|A+",
+		"csc200|st2|Smith|B-",
+		"mat100|st1|Deere|A-",
+		"mat100|st3|Smith|B+",
+	}
+	for i := range want {
+		if combos[i] != want[i] {
+			t.Fatalf("combos = %v, want %v", combos, want)
+		}
+	}
+}
+
+// TestTreeOfFigure2 reproduces Figure 2: a single tuple of the courses
+// document gives rise to the tree shown in the paper.
+func TestTreeOfFigure2(t *testing.T) {
+	d, tree := coursesFixture(t)
+	ts, err := TuplesOf(tree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the tuple for (csc200, st1).
+	var tup Tuple
+	for _, x := range ts {
+		cno, _ := x.Get(dtd.MustParsePath("courses.course.@cno"))
+		sno, _ := x.Get(dtd.MustParsePath("courses.course.taken_by.student.@sno"))
+		if cno.Str() == "csc200" && sno.Str() == "st1" {
+			tup = x
+		}
+	}
+	if tup == nil {
+		t.Fatal("tuple (csc200, st1) not found")
+	}
+	sub, err := TreeOf(d, tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := xmltree.MustParseString(`
+<courses>
+  <course cno="csc200">
+    <title>Automata Theory</title>
+    <taken_by>
+      <student sno="st1">
+        <name>Deere</name>
+        <grade>A+</grade>
+      </student>
+    </taken_by>
+  </course>
+</courses>`)
+	if !xmltree.Isomorphic(sub, want) {
+		t.Errorf("tree_D(t) =\n%s\nwant\n%s", sub, want)
+	}
+	// Proposition 1: tree_D(t) ◁ D.
+	if err := xmltree.Compatible(sub, d); err != nil {
+		t.Errorf("Proposition 1 violated: %v", err)
+	}
+	// tree_D(t) shares vertices with T: it is subsumed by T.
+	if !xmltree.Subsumed(sub, tree) {
+		t.Error("tree_D(t) should be subsumed by T")
+	}
+}
+
+// TestTheorem1RoundTrip checks trees_D(tuples_D(T)) = [T] on the paper's
+// documents.
+func TestTheorem1RoundTrip(t *testing.T) {
+	fixtures := []struct{ dtdFile, xmlFile string }{
+		{"courses.dtd", "courses.xml"},
+		{"courses_xnf.dtd", "courses_xnf.xml"},
+		{"dblp.dtd", "dblp.xml"},
+	}
+	for _, f := range fixtures {
+		d, err := dtd.Parse(load(t, f.dtdFile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := xmltree.ParseString(load(t, f.xmlFile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, err := TuplesOf(tree, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := TreesOf(d, ts)
+		if err != nil {
+			t.Fatalf("%s: TreesOf: %v", f.xmlFile, err)
+		}
+		if !xmltree.Equivalent(back, tree) {
+			t.Errorf("%s: trees_D(tuples_D(T)) ≢ T\nreconstructed:\n%s", f.xmlFile, back)
+		}
+	}
+}
+
+// TestProposition3 checks that for a D-compatible subset X of
+// tuples_D(T): trees_D(X) is compatible with D and X ⊑* tuples_D(trees_D(X)).
+func TestProposition3(t *testing.T) {
+	d, tree := coursesFixture(t)
+	all, err := TuplesOf(tree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Try every non-empty subset (there are 15).
+	for mask := 1; mask < 1<<len(all); mask++ {
+		var X []Tuple
+		for i := range all {
+			if mask&(1<<i) != 0 {
+				X = append(X, all[i])
+			}
+		}
+		glued, err := TreesOf(d, X)
+		if err != nil {
+			t.Fatalf("mask %d: %v", mask, err)
+		}
+		if err := xmltree.Compatible(glued, d); err != nil {
+			t.Errorf("mask %d: trees_D(X) not compatible: %v", mask, err)
+		}
+		back, err := TuplesOf(glued, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !SetLE(X, back) {
+			t.Errorf("mask %d: X ⋢* tuples_D(trees_D(X))", mask)
+		}
+		// And the glued tree is subsumed by the original.
+		if !xmltree.Subsumed(glued, tree) {
+			t.Errorf("mask %d: trees_D(X) not subsumed by T", mask)
+		}
+	}
+}
+
+// TestMonotonicity checks Proposition 2: T1 ≼ T2 implies
+// tuples_D(T1) ⊑* tuples_D(T2).
+func TestMonotonicity(t *testing.T) {
+	_, tree := coursesFixture(t)
+	// Prune: keep only the first course (shared vertex IDs).
+	pruned := &xmltree.Tree{Root: &xmltree.Node{
+		ID: tree.Root.ID, Label: tree.Root.Label,
+		Children: tree.Root.Children[:1],
+	}}
+	if !xmltree.Subsumed(pruned, tree) {
+		t.Fatal("pruned not subsumed")
+	}
+	t1, err := TuplesOf(pruned, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := TuplesOf(tree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SetLE(t1, t2) {
+		t.Error("monotonicity violated")
+	}
+}
+
+func TestTupleBasics(t *testing.T) {
+	a := Tuple{"r": NodeValue(1), "r.@x": StringValue("v")}
+	b := a.Clone()
+	if !a.Equal(b) || !a.LE(b) || !b.LE(a) {
+		t.Error("clone should be equal")
+	}
+	b["r.b"] = NodeValue(2)
+	if !a.LE(b) || b.LE(a) || a.Equal(b) {
+		t.Error("⊑ wrong after extension")
+	}
+	if a.Canonical() == b.Canonical() {
+		t.Error("canonical forms should differ")
+	}
+	if v, ok := a.Get(dtd.MustParsePath("r.@x")); !ok || v.Str() != "v" {
+		t.Error("Get failed")
+	}
+	if !a.Null(dtd.MustParsePath("r.zzz")) {
+		t.Error("Null failed")
+	}
+	proj := b.Project([]dtd.Path{dtd.MustParsePath("r"), dtd.MustParsePath("r.zzz")})
+	if len(proj) != 1 {
+		t.Errorf("Project = %v", proj)
+	}
+	if NodeValue(1).Equal(StringValue("#1")) {
+		t.Error("node and string values must differ")
+	}
+	if NodeValue(1).String() != "#1" || StringValue("s").String() != `"s"` {
+		t.Error("value String() wrong")
+	}
+}
+
+func TestCanonicalValuesErasesVertices(t *testing.T) {
+	a := Tuple{"r": NodeValue(1), "r.@x": StringValue("v")}
+	b := Tuple{"r": NodeValue(99), "r.@x": StringValue("v")}
+	if a.CanonicalValues() != b.CanonicalValues() {
+		t.Error("CanonicalValues should erase vertex identity")
+	}
+	if a.Canonical() == b.Canonical() {
+		t.Error("Canonical should keep vertex identity")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	d, _ := coursesFixture(t)
+	cases := []struct {
+		name string
+		tup  Tuple
+	}{
+		{"empty", Tuple{}},
+		{"no root", Tuple{"courses.course": NodeValue(1)}},
+		{"bad path", Tuple{"courses": NodeValue(1), "courses.zzz": NodeValue(2)}},
+		{"wrong kind (string at element)", Tuple{"courses": StringValue("x")}},
+		{"wrong kind (node at attr)", Tuple{
+			"courses": NodeValue(1), "courses.course": NodeValue(2),
+			"courses.course.@cno": NodeValue(3)}},
+		{"duplicate vertex", Tuple{
+			"courses": NodeValue(1), "courses.course": NodeValue(1)}},
+		{"null prefix", Tuple{
+			"courses": NodeValue(1), "courses.course.@cno": StringValue("c")}},
+	}
+	for _, c := range cases {
+		if err := c.tup.Validate(d); err == nil {
+			t.Errorf("%s: Validate succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestTreesOfInconsistent(t *testing.T) {
+	d, _ := coursesFixture(t)
+	// Same vertex, different attribute values.
+	x := []Tuple{
+		{"courses": NodeValue(1001), "courses.course": NodeValue(1002), "courses.course.@cno": StringValue("a")},
+		{"courses": NodeValue(1001), "courses.course": NodeValue(1002), "courses.course.@cno": StringValue("b")},
+	}
+	if _, err := TreesOf(d, x); err == nil {
+		t.Error("conflicting attribute values should fail")
+	}
+	// Same vertex under two parents.
+	y := []Tuple{
+		{"courses": NodeValue(2001), "courses.course": NodeValue(2002),
+			"courses.course.taken_by": NodeValue(2003)},
+		{"courses": NodeValue(2001), "courses.course": NodeValue(2004),
+			"courses.course.taken_by": NodeValue(2003)},
+	}
+	if _, err := TreesOf(d, y); err == nil {
+		t.Error("vertex with two parents should fail")
+	}
+	// Same vertex at two paths.
+	z := []Tuple{
+		{"courses": NodeValue(3001), "courses.course": NodeValue(3002)},
+		{"courses": NodeValue(3001), "courses.course": NodeValue(3003),
+			"courses.course.taken_by": NodeValue(3002)},
+	}
+	if _, err := TreesOf(d, z); err == nil {
+		t.Error("vertex at two paths should fail")
+	}
+	if _, err := TreesOf(d, nil); err == nil {
+		t.Error("empty X should fail")
+	}
+}
+
+func TestProjections(t *testing.T) {
+	_, tree := coursesFixture(t)
+	paths := []dtd.Path{
+		dtd.MustParsePath("courses.course.taken_by.student.@sno"),
+		dtd.MustParsePath("courses.course.taken_by.student.name.S"),
+	}
+	ps := Projections(tree, paths)
+	// Four students total, all (sno, name) pairs distinct as tuples of
+	// values... st1 appears twice with the same name but different
+	// student vertices do not matter after projection to value paths:
+	// (st1, Deere) dedups.
+	got := map[string]bool{}
+	for _, p := range ps {
+		sno, _ := p.Get(paths[0])
+		name, _ := p.Get(paths[1])
+		got[sno.Str()+"|"+name.Str()] = true
+	}
+	want := []string{"st1|Deere", "st2|Smith", "st3|Smith"}
+	if len(ps) != 3 || len(got) != 3 {
+		t.Fatalf("projections = %v", ps)
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("missing projection %q", w)
+		}
+	}
+}
+
+// TestProjectionsAgreeWithFullTuples cross-checks Projections against
+// projecting materialized maximal tuples.
+func TestProjectionsAgreeWithFullTuples(t *testing.T) {
+	_, tree := coursesFixture(t)
+	pathSets := [][]string{
+		{"courses"},
+		{"courses.course", "courses.course.@cno"},
+		{"courses.course.@cno", "courses.course.taken_by.student.@sno"},
+		{"courses.course.title.S", "courses.course.taken_by.student.grade.S"},
+		{"courses.course.taken_by.student"},
+	}
+	full, err := TuplesOf(tree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, set := range pathSets {
+		var paths []dtd.Path
+		for _, s := range set {
+			paths = append(paths, dtd.MustParsePath(s))
+		}
+		want := map[string]bool{}
+		for _, tup := range full {
+			want[tup.Project(paths).Canonical()] = true
+		}
+		got := map[string]bool{}
+		for _, tup := range Projections(tree, paths) {
+			got[tup.Canonical()] = true
+		}
+		if len(got) != len(want) {
+			t.Errorf("%v: got %d projections, want %d", set, len(got), len(want))
+			continue
+		}
+		for k := range want {
+			if !got[k] {
+				t.Errorf("%v: missing projection %q", set, k)
+			}
+		}
+	}
+}
+
+// TestProjectionsWithNulls: missing branches yield ⊥ in projections.
+func TestProjectionsWithNulls(t *testing.T) {
+	tree := xmltree.MustParseString(`<r><a k="1"/><a k="2"><b v="x"/></a></r>`)
+	paths := []dtd.Path{dtd.MustParsePath("r.a.@k"), dtd.MustParsePath("r.a.b.@v")}
+	ps := Projections(tree, paths)
+	if len(ps) != 2 {
+		t.Fatalf("projections = %v", ps)
+	}
+	foundNull := false
+	for _, p := range ps {
+		k, _ := p.Get(paths[0])
+		if k.Str() == "1" {
+			if !p.Null(paths[1]) {
+				t.Error("a[k=1] should have ⊥ at r.a.b.@v")
+			}
+			foundNull = true
+		}
+	}
+	if !foundNull {
+		t.Error("projection for a[k=1] missing")
+	}
+}
+
+func TestTuplesOfCapExceeded(t *testing.T) {
+	// 2^10 tuples from 10 independent pairs.
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < 10; i++ {
+		label := string(rune('a' + i))
+		b.WriteString("<" + label + "/><" + label + "/>")
+	}
+	b.WriteString("</r>")
+	tree := xmltree.MustParseString(b.String())
+	if _, err := TuplesOf(tree, 100); err == nil {
+		t.Error("cap should be enforced")
+	}
+	if ts, err := TuplesOf(tree, 2000); err != nil || len(ts) != 1024 {
+		t.Errorf("TuplesOf = %d tuples, err %v", len(ts), err)
+	}
+}

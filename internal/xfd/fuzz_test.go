@@ -1,0 +1,25 @@
+package xfd
+
+import "testing"
+
+// FuzzParse checks the FD parser never panics and round-trips.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		"a -> b", "a.b, c.@d -> e.S", "->", "a ->", "a -> b -> c", "a,,b -> c",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		fd, err := Parse(input)
+		if err != nil {
+			return
+		}
+		again, err := Parse(fd.String())
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", fd, err)
+		}
+		if !fd.Equal(again) {
+			t.Fatalf("round trip changed %q", input)
+		}
+	})
+}

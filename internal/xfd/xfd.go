@@ -1,0 +1,311 @@
+// Package xfd implements XML functional dependencies (Section 4 of
+// Arenas & Libkin, PODS 2002): expressions S1 → S2 over paths of a DTD,
+// whose semantics is defined on the tree-tuple representation with the
+// Atzeni–Morfuni null semantics — a tree T satisfies S1 → S2 if any two
+// maximal tuples that agree on S1 with non-null values also agree on S2
+// (where ⊥ = ⊥ counts as agreement on the right-hand side).
+package xfd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/tuples"
+	"xmlnorm/internal/xmltree"
+)
+
+// FD is a functional dependency S1 → S2 over the paths of a DTD.
+type FD struct {
+	LHS []dtd.Path
+	RHS []dtd.Path
+}
+
+// New builds an FD from dotted path strings, panicking on syntax errors;
+// for tests and literals. Use Parse for untrusted input.
+func New(lhs []string, rhs []string) FD {
+	fd, err := fromStrings(lhs, rhs)
+	if err != nil {
+		panic(err)
+	}
+	return fd
+}
+
+func fromStrings(lhs, rhs []string) (FD, error) {
+	var fd FD
+	for _, s := range lhs {
+		p, err := dtd.ParsePath(s)
+		if err != nil {
+			return FD{}, err
+		}
+		fd.LHS = append(fd.LHS, p)
+	}
+	for _, s := range rhs {
+		p, err := dtd.ParsePath(s)
+		if err != nil {
+			return FD{}, err
+		}
+		fd.RHS = append(fd.RHS, p)
+	}
+	return fd, nil
+}
+
+// Parse reads "p1, p2 -> q1, q2" notation.
+func Parse(s string) (FD, error) {
+	parts := strings.Split(s, "->")
+	if len(parts) != 2 {
+		return FD{}, fmt.Errorf("xfd: %q: want exactly one \"->\"", s)
+	}
+	lhs, err := splitPaths(parts[0])
+	if err != nil {
+		return FD{}, fmt.Errorf("xfd: %q: %v", s, err)
+	}
+	rhs, err := splitPaths(parts[1])
+	if err != nil {
+		return FD{}, fmt.Errorf("xfd: %q: %v", s, err)
+	}
+	if len(lhs) == 0 || len(rhs) == 0 {
+		return FD{}, fmt.Errorf("xfd: %q: both sides must be non-empty", s)
+	}
+	return fromStrings(lhs, rhs)
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(s string) FD {
+	fd, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return fd
+}
+
+func splitPaths(s string) ([]string, error) {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("empty path in %q", s)
+		}
+		out = append(out, part)
+	}
+	return out, nil
+}
+
+// String renders the FD in the parseable "p1, p2 -> q" notation.
+func (f FD) String() string {
+	var b strings.Builder
+	for i, p := range f.LHS {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteString(" -> ")
+	for i, p := range f.RHS {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	return b.String()
+}
+
+// Validate checks that all paths of the FD are paths of the DTD.
+func (f FD) Validate(d *dtd.DTD) error {
+	if len(f.LHS) == 0 || len(f.RHS) == 0 {
+		return fmt.Errorf("xfd: %s: sides must be non-empty", f)
+	}
+	for _, p := range append(append([]dtd.Path{}, f.LHS...), f.RHS...) {
+		if !d.IsPath(p) {
+			return fmt.Errorf("xfd: %s: %q is not a path of the DTD", f, p)
+		}
+	}
+	return nil
+}
+
+// Paths returns LHS ∪ RHS without duplicates, in order of appearance.
+func (f FD) Paths() []dtd.Path {
+	seen := map[string]bool{}
+	var out []dtd.Path
+	for _, p := range append(append([]dtd.Path{}, f.LHS...), f.RHS...) {
+		if !seen[p.String()] {
+			seen[p.String()] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (f FD) Clone() FD {
+	c := FD{LHS: make([]dtd.Path, len(f.LHS)), RHS: make([]dtd.Path, len(f.RHS))}
+	for i, p := range f.LHS {
+		c.LHS[i] = p.Clone()
+	}
+	for i, p := range f.RHS {
+		c.RHS[i] = p.Clone()
+	}
+	return c
+}
+
+// Equal reports whether two FDs have the same sides as sets.
+func (f FD) Equal(o FD) bool {
+	return samePathSet(f.LHS, o.LHS) && samePathSet(f.RHS, o.RHS)
+}
+
+func samePathSet(a, b []dtd.Path) bool {
+	as := pathStrings(a)
+	bs := pathStrings(b)
+	if len(as) != len(bs) {
+		return false
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func pathStrings(ps []dtd.Path) []string {
+	out := make([]string, 0, len(ps))
+	seen := map[string]bool{}
+	for _, p := range ps {
+		s := p.String()
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SingleRHS splits the FD into one FD per right-hand-side path
+// (implication treats S → {p, q} as {S → p, S → q}).
+func (f FD) SingleRHS() []FD {
+	out := make([]FD, 0, len(f.RHS))
+	for _, p := range f.RHS {
+		out = append(out, FD{LHS: f.LHS, RHS: []dtd.Path{p}})
+	}
+	return out
+}
+
+// Satisfies checks T ⊨ f: for every pair of maximal tuples t1, t2 of T,
+// if t1.LHS = t2.LHS with all values non-null, then t1.RHS = t2.RHS
+// (null = null counts as equal). The check enumerates projections of the
+// maximal tuples onto the FD's paths only, so it does not materialize
+// the full tuple set.
+func Satisfies(t *xmltree.Tree, f FD) bool {
+	_, ok := Violation(t, f)
+	return !ok
+}
+
+// Violation returns a witness pair of projected tuples violating f, if
+// any.
+func Violation(t *xmltree.Tree, f FD) ([2]tuples.Tuple, bool) {
+	proj := tuples.Projections(t, f.Paths())
+	// Group by LHS values; within a group all RHS projections must agree.
+	groups := map[string]tuples.Tuple{}
+	for _, tup := range proj {
+		key, ok := lhsKey(tup, f.LHS)
+		if !ok {
+			continue // some LHS value is ⊥: the FD does not apply
+		}
+		first, seen := groups[key]
+		if !seen {
+			groups[key] = tup
+			continue
+		}
+		if !sameRHS(first, tup, f.RHS) {
+			return [2]tuples.Tuple{first, tup}, true
+		}
+	}
+	return [2]tuples.Tuple{}, false
+}
+
+// SatisfiesAll checks T ⊨ Σ.
+func SatisfiesAll(t *xmltree.Tree, sigma []FD) bool {
+	for _, f := range sigma {
+		if !Satisfies(t, f) {
+			return false
+		}
+	}
+	return true
+}
+
+func lhsKey(t tuples.Tuple, lhs []dtd.Path) (string, bool) {
+	var b strings.Builder
+	for _, p := range lhs {
+		v, ok := t.Get(p)
+		if !ok {
+			return "", false
+		}
+		b.WriteString(v.String())
+		b.WriteByte('|')
+	}
+	return b.String(), true
+}
+
+func sameRHS(a, b tuples.Tuple, rhs []dtd.Path) bool {
+	for _, p := range rhs {
+		av, aok := a.Get(p)
+		bv, bok := b.Get(p)
+		if aok != bok {
+			return false
+		}
+		if aok && !av.Equal(bv) {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseSet reads one FD per line, ignoring blank lines and lines
+// starting with '#'.
+func ParseSet(s string) ([]FD, error) {
+	var out []FD
+	for i, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fd, err := Parse(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", i+1, err)
+		}
+		out = append(out, fd)
+	}
+	return out, nil
+}
+
+// FormatSet renders a set of FDs, one per line.
+func FormatSet(sigma []FD) string {
+	var b strings.Builder
+	for _, f := range sigma {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Violated pairs an FD with a witness pair of tuple projections that
+// violate it.
+type Violated struct {
+	FD      FD
+	Witness [2]tuples.Tuple
+}
+
+// ViolationReport checks every FD of Σ against the document and
+// returns the violated ones with witnesses. A valid document yields an
+// empty report.
+func ViolationReport(t *xmltree.Tree, sigma []FD) []Violated {
+	var out []Violated
+	for _, f := range sigma {
+		if pair, bad := Violation(t, f); bad {
+			out = append(out, Violated{FD: f, Witness: pair})
+		}
+	}
+	return out
+}

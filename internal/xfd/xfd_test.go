@@ -1,0 +1,259 @@
+package xfd
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/xmltree"
+)
+
+func load(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("../../testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// The FDs of Example 4.1.
+const (
+	fd1 = "courses.course.@cno -> courses.course"
+	fd2 = "courses.course, courses.course.taken_by.student.@sno -> courses.course.taken_by.student"
+	fd3 = "courses.course.taken_by.student.@sno -> courses.course.taken_by.student.name.S"
+)
+
+func TestParseAndString(t *testing.T) {
+	f := MustParse(fd2)
+	if len(f.LHS) != 2 || len(f.RHS) != 1 {
+		t.Fatalf("parsed %v", f)
+	}
+	if f.String() != fd2 {
+		t.Errorf("String = %q, want %q", f.String(), fd2)
+	}
+	again := MustParse(f.String())
+	if !f.Equal(again) {
+		t.Error("round trip changed the FD")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "a.b", "a -> b -> c", "-> a", "a ->", "a, -> b", "a -> b,",
+		"a..b -> c", "@x -> y",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+	if _, err := Parse("a.@x.b -> c"); err == nil {
+		t.Error("attribute step in the middle should fail")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	d := dtd.MustParse(load(t, "courses.dtd"))
+	for _, s := range []string{fd1, fd2, fd3} {
+		if err := MustParse(s).Validate(d); err != nil {
+			t.Errorf("Validate(%q): %v", s, err)
+		}
+	}
+	if err := MustParse("courses.zzz -> courses").Validate(d); err == nil {
+		t.Error("invalid path accepted")
+	}
+	if err := (FD{}).Validate(d); err == nil {
+		t.Error("empty FD accepted")
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a := MustParse("x.a, x.b -> x.c")
+	b := MustParse("x.b, x.a -> x.c") // sets, order irrelevant
+	if !a.Equal(b) {
+		t.Error("FD equality should ignore order")
+	}
+	c := a.Clone()
+	if !a.Equal(c) {
+		t.Error("clone differs")
+	}
+	c.LHS[0][0] = "zzz"
+	if a.LHS[0][0] == "zzz" {
+		t.Error("clone shares path storage")
+	}
+	if a.Equal(MustParse("x.a -> x.c")) {
+		t.Error("different FDs reported equal")
+	}
+}
+
+func TestPathsAndSingleRHS(t *testing.T) {
+	f := MustParse("x.a, x.b -> x.b, x.c")
+	ps := f.Paths()
+	if len(ps) != 3 { // x.b deduplicated
+		t.Errorf("Paths = %v", ps)
+	}
+	split := f.SingleRHS()
+	if len(split) != 2 || split[0].RHS[0].String() != "x.b" || split[1].RHS[0].String() != "x.c" {
+		t.Errorf("SingleRHS = %v", split)
+	}
+}
+
+// TestExample41 checks that the Figure 1(a) document satisfies the three
+// FDs of Example 4.1.
+func TestExample41(t *testing.T) {
+	tree := xmltree.MustParseString(load(t, "courses.xml"))
+	for _, s := range []string{fd1, fd2, fd3} {
+		if !Satisfies(tree, MustParse(s)) {
+			t.Errorf("Figure 1(a) document should satisfy %s", s)
+		}
+	}
+}
+
+// TestFD3Violation: updating one copy of a redundant name (the paper's
+// update-anomaly example) violates FD3.
+func TestFD3Violation(t *testing.T) {
+	tree := xmltree.MustParseString(load(t, "courses.xml"))
+	// Rename st1 in one course only.
+	student := tree.Root.Children[0].ChildrenLabelled("taken_by")[0].Children[0]
+	if v, _ := student.Attr("sno"); v != "st1" {
+		t.Fatal("fixture changed")
+	}
+	student.ChildrenLabelled("name")[0].SetText("Doe")
+
+	f := MustParse(fd3)
+	if Satisfies(tree, f) {
+		t.Fatal("FD3 should now be violated")
+	}
+	pair, ok := Violation(tree, f)
+	if !ok {
+		t.Fatal("no violation witness")
+	}
+	sno := dtd.MustParsePath("courses.course.taken_by.student.@sno")
+	v0, _ := pair[0].Get(sno)
+	v1, _ := pair[1].Get(sno)
+	if v0.Str() != "st1" || v1.Str() != "st1" {
+		t.Errorf("witness pair has snos %s, %s; want st1, st1", v0, v1)
+	}
+	// FD1 and FD2 still hold.
+	if !SatisfiesAll(tree, []FD{MustParse(fd1), MustParse(fd2)}) {
+		t.Error("FD1/FD2 should still hold")
+	}
+}
+
+// TestFD1Violation: two courses with the same cno violate the key FD1.
+func TestFD1Violation(t *testing.T) {
+	doc := `<courses>
+  <course cno="c1"><title>A</title><taken_by/></course>
+  <course cno="c1"><title>B</title><taken_by/></course>
+</courses>`
+	tree := xmltree.MustParseString(doc)
+	if Satisfies(tree, MustParse(fd1)) {
+		t.Error("duplicate cno should violate FD1")
+	}
+	// A single course trivially satisfies it.
+	one := xmltree.MustParseString(`<courses><course cno="c1"><title>A</title><taken_by/></course></courses>`)
+	if !Satisfies(one, MustParse(fd1)) {
+		t.Error("single course should satisfy FD1")
+	}
+}
+
+// TestDBLPExample checks FD4 and FD5 of Example 5.2 on the DBLP
+// document.
+func TestDBLPExample(t *testing.T) {
+	tree := xmltree.MustParseString(load(t, "dblp.xml"))
+	fd4 := MustParse("db.conf.title.S -> db.conf")
+	fd5 := MustParse("db.conf.issue -> db.conf.issue.inproceedings.@year")
+	if !Satisfies(tree, fd4) {
+		t.Error("DBLP document should satisfy FD4")
+	}
+	if !Satisfies(tree, fd5) {
+		t.Error("DBLP document should satisfy FD5")
+	}
+	// Break FD5: one paper in the 2002 issue claims year 2003.
+	issue := tree.Root.Children[0].ChildrenLabelled("issue")[0]
+	issue.Children[1].SetAttr("year", "2003")
+	if Satisfies(tree, fd5) {
+		t.Error("modified document should violate FD5")
+	}
+}
+
+// TestNullSemantics exercises the Atzeni–Morfuni semantics: FDs do not
+// fire when an LHS value is null, and null = null counts as agreement on
+// the RHS.
+func TestNullSemantics(t *testing.T) {
+	// b is optional; two a's without b agree trivially.
+	tree := xmltree.MustParseString(`<r><a k="1"/><a k="1"/></r>`)
+	f := MustParse("r.a.b.@x -> r.a.@k")
+	if !Satisfies(tree, f) {
+		t.Error("FD with null LHS should be vacuously satisfied")
+	}
+	// RHS null on both sides: agreement.
+	g := MustParse("r.a.@k -> r.a.b.@x")
+	if !Satisfies(tree, g) {
+		t.Error("⊥ = ⊥ should count as RHS agreement")
+	}
+	// RHS null on one side only: violation.
+	tree2 := xmltree.MustParseString(`<r><a k="1"><b x="v"/></a><a k="1"/></r>`)
+	if Satisfies(tree2, g) {
+		t.Error("⊥ vs non-null RHS should be a violation")
+	}
+}
+
+// TestNodeEqualityFDs: FDs whose RHS is an element path compare
+// vertices, not values.
+func TestNodeEqualityFDs(t *testing.T) {
+	// Two courses with different cno: FD1 holds. Same structure but the
+	// RHS is the course *vertex*.
+	doc := `<courses>
+  <course cno="c1"><title>A</title><taken_by/></course>
+  <course cno="c2"><title>A</title><taken_by/></course>
+</courses>`
+	tree := xmltree.MustParseString(doc)
+	if !Satisfies(tree, MustParse(fd1)) {
+		t.Error("distinct cnos should satisfy the key")
+	}
+	// title.S -> course fails: same title, different vertices.
+	f := MustParse("courses.course.title.S -> courses.course")
+	if Satisfies(tree, f) {
+		t.Error("same title on two course vertices should violate")
+	}
+}
+
+func TestParseSet(t *testing.T) {
+	in := "# comment\n" + fd1 + "\n\n" + fd3 + "\n"
+	fds, err := ParseSet(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fds) != 2 {
+		t.Fatalf("got %d FDs", len(fds))
+	}
+	out := FormatSet(fds)
+	again, err := ParseSet(out)
+	if err != nil || len(again) != 2 {
+		t.Fatalf("FormatSet round trip: %v, %d", err, len(again))
+	}
+	if _, err := ParseSet("garbage"); err == nil {
+		t.Error("ParseSet should fail on garbage")
+	}
+}
+
+func TestViolationReport(t *testing.T) {
+	tree := xmltree.MustParseString(load(t, "courses.xml"))
+	sigma := []FD{MustParse(fd1), MustParse(fd2), MustParse(fd3)}
+	if rep := ViolationReport(tree, sigma); len(rep) != 0 {
+		t.Fatalf("valid document reported violations: %v", rep)
+	}
+	// Break FD3.
+	student := tree.Root.Children[0].ChildrenLabelled("taken_by")[0].Children[0]
+	student.ChildrenLabelled("name")[0].SetText("Doe")
+	rep := ViolationReport(tree, sigma)
+	if len(rep) != 1 || !rep[0].FD.Equal(MustParse(fd3)) {
+		t.Fatalf("report = %v, want FD3 only", rep)
+	}
+	if len(rep[0].Witness[0]) == 0 || len(rep[0].Witness[1]) == 0 {
+		t.Error("witness tuples missing")
+	}
+}

@@ -1,0 +1,27 @@
+package xmltree
+
+import "testing"
+
+// FuzzParse checks the XML reader never panics and that accepted
+// documents survive serialize/parse up to isomorphism.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		"<a/>", "<a><b/>text</a>", "<a x='1'><b>t</b></a>", "<a>", "text",
+		`<r><x k="&lt;&amp;"/><y>1 &lt; 2</y></r>`,
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		tree, err := ParseString(input)
+		if err != nil {
+			return
+		}
+		again, err := ParseString(tree.String())
+		if err != nil {
+			t.Fatalf("reparse failed: %v\nserialized:\n%s", err, tree)
+		}
+		if !Isomorphic(tree, again) {
+			t.Fatalf("round trip changed the tree for %q", input)
+		}
+	})
+}

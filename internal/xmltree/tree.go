@@ -1,0 +1,230 @@
+// Package xmltree implements the XML tree data model of Definition 2 of
+// Arenas & Libkin (PODS 2002): finite trees with labelled element nodes
+// carrying attributes, where a node's content is either a list of
+// element children or a single string. Mixed content is not represented,
+// exactly as in the paper.
+//
+// Every node carries an identity (NodeID, the paper's vertex from Vert),
+// which is what tree tuples store for element paths; two nodes are "the
+// same vertex" iff their IDs are equal. The package provides parsing
+// from XML text, serialization, conformance to a DTD (T ⊨ D,
+// Definition 3), compatibility (T ◁ D), subsumption (T1 ≼ T2) and the
+// derived unordered equivalence (T1 ≡ T2).
+package xmltree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// NodeID identifies a vertex. IDs are unique within a process run (a
+// global counter), so nodes from different trees never collide, which is
+// what Definitions 4-7 need when tuples from several trees are mixed.
+type NodeID int64
+
+var nextID atomic.Int64
+
+// newID returns a fresh vertex identifier.
+func newID() NodeID { return NodeID(nextID.Add(1)) }
+
+// FreshID returns a vertex identifier that no existing node uses. It is
+// used by code that synthesizes tree tuples before materializing their
+// trees (e.g. counterexample construction in the implication engine).
+func FreshID() NodeID { return newID() }
+
+// Node is an element node. Its content is Children (element content) or
+// Text (string content, when HasText is set); conforming trees never
+// have both.
+type Node struct {
+	ID       NodeID
+	Label    string
+	Attrs    map[string]string
+	Children []*Node
+	Text     string
+	HasText  bool
+}
+
+// NewNode returns a node with a fresh vertex ID and no attributes.
+func NewNode(label string) *Node {
+	return &Node{ID: newID(), Label: label}
+}
+
+// SetAttr sets an attribute value.
+func (n *Node) SetAttr(name, value string) *Node {
+	if n.Attrs == nil {
+		n.Attrs = map[string]string{}
+	}
+	n.Attrs[name] = value
+	return n
+}
+
+// Attr returns the attribute value and whether it is defined.
+func (n *Node) Attr(name string) (string, bool) {
+	v, ok := n.Attrs[name]
+	return v, ok
+}
+
+// SetText makes the node's content the given string.
+func (n *Node) SetText(s string) *Node {
+	n.Text = s
+	n.HasText = true
+	n.Children = nil
+	return n
+}
+
+// Append adds element children.
+func (n *Node) Append(children ...*Node) *Node {
+	n.Children = append(n.Children, children...)
+	n.HasText = false
+	return n
+}
+
+// ChildrenLabelled returns the children with the given label, in
+// document order.
+func (n *Node) ChildrenLabelled(label string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Label == label {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the subtree with fresh vertex IDs.
+func (n *Node) Clone() *Node {
+	c := NewNode(n.Label)
+	if n.Attrs != nil {
+		c.Attrs = make(map[string]string, len(n.Attrs))
+		for k, v := range n.Attrs {
+			c.Attrs[k] = v
+		}
+	}
+	c.Text, c.HasText = n.Text, n.HasText
+	for _, ch := range n.Children {
+		c.Children = append(c.Children, ch.Clone())
+	}
+	return c
+}
+
+// Tree is a rooted XML tree.
+type Tree struct {
+	Root *Node
+}
+
+// NewTree wraps a root node.
+func NewTree(root *Node) *Tree { return &Tree{Root: root} }
+
+// Clone deep-copies the tree with fresh vertex IDs.
+func (t *Tree) Clone() *Tree { return &Tree{Root: t.Root.Clone()} }
+
+// Walk calls fn for every node in pre-order, with its path of labels
+// from the root (inclusive). Returning false stops the walk of that
+// subtree.
+func (t *Tree) Walk(fn func(n *Node, path []string) bool) {
+	var rec func(n *Node, path []string)
+	rec = func(n *Node, path []string) {
+		path = append(path, n.Label)
+		if !fn(n, path) {
+			return
+		}
+		for _, c := range n.Children {
+			rec(c, path)
+		}
+	}
+	rec(t.Root, nil)
+}
+
+// Nodes returns all nodes in pre-order.
+func (t *Tree) Nodes() []*Node {
+	var out []*Node
+	t.Walk(func(n *Node, _ []string) bool {
+		out = append(out, n)
+		return true
+	})
+	return out
+}
+
+// Size returns the number of element nodes.
+func (t *Tree) Size() int { return len(t.Nodes()) }
+
+// NodeByID finds a node by vertex ID, or nil.
+func (t *Tree) NodeByID(id NodeID) *Node {
+	var found *Node
+	t.Walk(func(n *Node, _ []string) bool {
+		if n.ID == id {
+			found = n
+			return false
+		}
+		return found == nil
+	})
+	return found
+}
+
+// Paths returns paths(T) of Definition 2: all label paths occurring in
+// the tree, including attribute steps and the text step S.
+func (t *Tree) Paths() []string {
+	set := map[string]bool{}
+	t.Walk(func(n *Node, path []string) bool {
+		p := strings.Join(path, ".")
+		set[p] = true
+		for a := range n.Attrs {
+			set[p+".@"+a] = true
+		}
+		if n.HasText {
+			set[p+".S"] = true
+		}
+		return true
+	})
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Canonical returns a canonical string for the tree viewed as an
+// unordered tree, ignoring vertex IDs. Two trees have equal canonical
+// forms iff they are isomorphic as unordered attribute-labelled trees.
+// Used to compare reconstruction results in the losslessness tests.
+func (t *Tree) Canonical() string {
+	var enc func(n *Node) string
+	enc = func(n *Node) string {
+		var b strings.Builder
+		b.WriteString(n.Label)
+		if len(n.Attrs) > 0 {
+			names := make([]string, 0, len(n.Attrs))
+			for a := range n.Attrs {
+				names = append(names, a)
+			}
+			sort.Strings(names)
+			b.WriteByte('[')
+			for i, a := range names {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "@%s=%q", a, n.Attrs[a])
+			}
+			b.WriteByte(']')
+		}
+		if n.HasText {
+			fmt.Fprintf(&b, "{%q}", n.Text)
+			return b.String()
+		}
+		if len(n.Children) > 0 {
+			kids := make([]string, len(n.Children))
+			for i, c := range n.Children {
+				kids[i] = enc(c)
+			}
+			sort.Strings(kids)
+			b.WriteByte('(')
+			b.WriteString(strings.Join(kids, ","))
+			b.WriteByte(')')
+		}
+		return b.String()
+	}
+	return enc(t.Root)
+}

@@ -1,0 +1,157 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads an XML document into a Tree. Whitespace-only character
+// data between elements is ignored; any other character data becomes the
+// node's string content. Mixed content (text next to element children)
+// is rejected, since the paper's data model (Definition 2) excludes it.
+// Namespaces are not interpreted; prefixed names are kept verbatim.
+func Parse(r io.Reader) (*Tree, error) {
+	dec := xml.NewDecoder(r)
+	var stack []*Node
+	var root *Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: %v", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := NewNode(elemName(t.Name))
+			for _, a := range t.Attr {
+				name := elemName(a.Name)
+				if name == "xmlns" || strings.HasPrefix(name, "xmlns:") {
+					continue
+				}
+				n.SetAttr(name, a.Value)
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmltree: multiple root elements")
+				}
+				root = n
+			} else {
+				parent := stack[len(stack)-1]
+				if parent.HasText {
+					return nil, fmt.Errorf("xmltree: mixed content under <%s>", parent.Label)
+				}
+				parent.Children = append(parent.Children, n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: unbalanced end tag </%s>", elemName(t.Name))
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			s := string(t)
+			if strings.TrimSpace(s) == "" {
+				continue
+			}
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: character data outside the root element")
+			}
+			cur := stack[len(stack)-1]
+			if len(cur.Children) > 0 {
+				return nil, fmt.Errorf("xmltree: mixed content under <%s>", cur.Label)
+			}
+			if cur.HasText {
+				cur.Text += s
+			} else {
+				cur.SetText(s)
+			}
+		case xml.Comment, xml.ProcInst, xml.Directive:
+			// Ignored.
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmltree: no root element")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: unbalanced document")
+	}
+	return NewTree(root), nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Tree, error) { return Parse(strings.NewReader(s)) }
+
+// MustParseString is ParseString that panics on error; for tests.
+func MustParseString(s string) *Tree {
+	t, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func elemName(n xml.Name) string {
+	if n.Space != "" {
+		return n.Space + ":" + n.Local
+	}
+	return n.Local
+}
+
+// String serializes the tree as indented XML. Attributes print in
+// sorted order so output is deterministic.
+func (t *Tree) String() string {
+	var b strings.Builder
+	writeNode(&b, t.Root, 0)
+	return b.String()
+}
+
+func writeNode(b *strings.Builder, n *Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	b.WriteString(indent)
+	b.WriteByte('<')
+	b.WriteString(n.Label)
+	names := make([]string, 0, len(n.Attrs))
+	for a := range n.Attrs {
+		names = append(names, a)
+	}
+	sortStrings(names)
+	for _, a := range names {
+		fmt.Fprintf(b, " %s=\"%s\"", a, escapeAttr(n.Attrs[a]))
+	}
+	switch {
+	case n.HasText:
+		b.WriteByte('>')
+		b.WriteString(escapeText(n.Text))
+		fmt.Fprintf(b, "</%s>\n", n.Label)
+	case len(n.Children) == 0:
+		b.WriteString("/>\n")
+	default:
+		b.WriteString(">\n")
+		for _, c := range n.Children {
+			writeNode(b, c, depth+1)
+		}
+		fmt.Fprintf(b, "%s</%s>\n", indent, n.Label)
+	}
+}
+
+func escapeText(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+func escapeAttr(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

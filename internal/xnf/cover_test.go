@@ -1,0 +1,107 @@
+package xnf
+
+import (
+	"testing"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/implication"
+	"xmlnorm/internal/xfd"
+)
+
+func TestMinimalCoverCourses(t *testing.T) {
+	s := coursesSpec(t)
+	// Add noise: a duplicate of FD3, a trivial FD, and a multi-RHS FD
+	// implied by FD1 plus structure.
+	s.FDs = append(s.FDs,
+		s.FDs[2].Clone(),
+		xfd.MustParse("courses.course -> courses.course.@cno"),
+		xfd.MustParse("courses.course.@cno -> courses.course.title, courses.course.title.S"),
+	)
+	mc, err := MinimalCover(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cover is exactly FD1, FD2, FD3 (as single-RHS FDs).
+	if len(mc) != 3 {
+		t.Fatalf("cover = %v, want 3 FDs", mc)
+	}
+	// Equivalence both ways.
+	coverEng, err := implication.NewEngine(s.DTD, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origEng, err := implication.NewEngine(s.DTD, s.FDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range s.FDs {
+		ans, err := coverEng.Implies(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ans.Implied {
+			t.Errorf("cover does not imply original %s", f)
+		}
+	}
+	for _, f := range mc {
+		ans, err := origEng.Implies(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ans.Implied {
+			t.Errorf("original does not imply cover FD %s", f)
+		}
+	}
+}
+
+func TestMinimalCoverShrinksLHS(t *testing.T) {
+	// The root on the LHS is always extraneous (it is shared by all
+	// tuples).
+	s := Spec{
+		DTD: dtd.MustParse(`
+<!ELEMENT r (a*)>
+<!ELEMENT a EMPTY>
+<!ATTLIST a k CDATA #REQUIRED v CDATA #REQUIRED>`),
+		FDs: []xfd.FD{xfd.MustParse("r, r.a.@k -> r.a.@v")},
+	}
+	mc, err := MinimalCover(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mc) != 1 || len(mc[0].LHS) != 1 || mc[0].LHS[0].String() != "r.a.@k" {
+		t.Errorf("cover = %v, want the root dropped", mc)
+	}
+}
+
+func TestMinimalCoverKeepsNeededPaths(t *testing.T) {
+	// FD2's course path is NOT extraneous: sno alone does not identify
+	// the student element.
+	s := coursesSpec(t)
+	mc, err := MinimalCover(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range mc {
+		if f.RHS[0].String() == "courses.course.taken_by.student" && len(f.LHS) != 2 {
+			t.Errorf("FD2 lost a needed LHS path: %s", f)
+		}
+	}
+}
+
+func TestMinimalCoverAllTrivial(t *testing.T) {
+	s := Spec{
+		DTD: dtd.MustParse(`<!ELEMENT r (a)><!ELEMENT a EMPTY><!ATTLIST a k CDATA #REQUIRED>`),
+		FDs: []xfd.FD{
+			xfd.MustParse("r -> r.a"),         // a occurs exactly once
+			xfd.MustParse("r.a -> r.a.@k"),    // attributes are total
+			xfd.MustParse("r.a.@k -> r.a.@k"), // reflexive
+		},
+	}
+	mc, err := MinimalCover(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mc) != 0 {
+		t.Errorf("cover = %v, want empty (all trivial)", mc)
+	}
+}

@@ -1,0 +1,170 @@
+package xnf
+
+import (
+	"strings"
+	"testing"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/xfd"
+	"xmlnorm/internal/xmltree"
+)
+
+// Failure-injection tests: the document transformations must refuse
+// documents that violate the guarding FDs instead of silently producing
+// lossy output, and every error message must identify the problem.
+
+func TestCreateStepRejectsFDViolation(t *testing.T) {
+	s := coursesSpec(t)
+	_, steps, err := Normalize(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// st1 with two different names across courses: FD3 violated.
+	doc := xmltree.MustParseString(`
+<courses>
+  <course cno="c1"><title>A</title><taken_by>
+    <student sno="st1"><name>Deere</name><grade>A</grade></student>
+  </taken_by></course>
+  <course cno="c2"><title>B</title><taken_by>
+    <student sno="st1"><name>Doe</name><grade>B</grade></student>
+  </taken_by></course>
+</courses>`)
+	err = ApplySteps(doc, steps)
+	if err == nil {
+		t.Fatal("FD-violating document accepted by the transformation")
+	}
+	if !strings.Contains(err.Error(), "guarding FD") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestInvertRejectsAmbiguousGroups(t *testing.T) {
+	// A hand-corrupted normalized document: the same sno under two info
+	// groups — reconstruction must refuse rather than guess.
+	step := &CreateStep{
+		Q:        dtd.MustParsePath("courses"),
+		LHSAttrs: []dtd.Path{dtd.MustParsePath("courses.course.taken_by.student.@sno")},
+		RHS:      dtd.MustParsePath("courses.course.taken_by.student.name.S"),
+		Tau:      "info",
+		Members:  []string{"number"},
+		TextForm: true,
+	}
+	doc := xmltree.MustParseString(`
+<courses>
+  <course cno="c1"><title>T</title><taken_by>
+    <student sno="st1"><grade>A</grade></student>
+  </taken_by></course>
+  <info><number sno="st1"/><name>Deere</name></info>
+  <info><number sno="st1"/><name>Doe</name></info>
+</courses>`)
+	if err := step.Invert(doc); err == nil {
+		t.Fatal("ambiguous groups accepted by reconstruction")
+	}
+}
+
+func TestInvertRejectsMissingGroup(t *testing.T) {
+	step := &CreateStep{
+		Q:        dtd.MustParsePath("courses"),
+		LHSAttrs: []dtd.Path{dtd.MustParsePath("courses.course.taken_by.student.@sno")},
+		RHS:      dtd.MustParsePath("courses.course.taken_by.student.name.S"),
+		Tau:      "info",
+		Members:  []string{"number"},
+		TextForm: true,
+	}
+	// st2 has no info group: its name is unrecoverable.
+	doc := xmltree.MustParseString(`
+<courses>
+  <course cno="c1"><title>T</title><taken_by>
+    <student sno="st2"><grade>A</grade></student>
+  </taken_by></course>
+  <info><number sno="st1"/><name>Deere</name></info>
+</courses>`)
+	err := step.Invert(doc)
+	if err == nil || !strings.Contains(err.Error(), "recoverable") {
+		t.Fatalf("missing group should fail clearly, got %v", err)
+	}
+}
+
+func TestInvertRejectsMalformedGroups(t *testing.T) {
+	step := &CreateStep{
+		Q:        dtd.MustParsePath("r"),
+		LHSAttrs: []dtd.Path{dtd.MustParsePath("r.item.@k")},
+		RHS:      dtd.MustParsePath("r.item.@v"),
+		Tau:      "grp",
+		Members:  []string{"m"},
+	}
+	// Group without its value attribute.
+	doc := xmltree.MustParseString(`<r><item k="1"/><grp><m k="1"/></grp></r>`)
+	if err := step.Invert(doc); err == nil {
+		t.Fatal("group without value attribute accepted")
+	}
+	// Text-form group without a unique text child.
+	step2 := &CreateStep{
+		Q:        dtd.MustParsePath("r"),
+		LHSAttrs: []dtd.Path{dtd.MustParsePath("r.item.@k")},
+		RHS:      dtd.MustParsePath("r.item.name.S"),
+		Tau:      "grp",
+		Members:  []string{"m"},
+		TextForm: true,
+	}
+	doc2 := xmltree.MustParseString(`<r><item k="1"/><grp><m k="1"/></grp></r>`)
+	if err := step2.Invert(doc2); err == nil {
+		t.Fatal("group without text element accepted")
+	}
+}
+
+func TestNormalizeRejectsRecursiveDTD(t *testing.T) {
+	s := Spec{
+		DTD: dtd.MustParse(`
+<!ELEMENT r (part*)>
+<!ELEMENT part (part2*)>
+<!ATTLIST part k CDATA #REQUIRED v CDATA #REQUIRED>
+<!ELEMENT part2 (part?)>`),
+		FDs: []xfd.FD{xfd.MustParse("r.part.@k -> r.part.@v")},
+	}
+	if _, _, err := Normalize(s, Options{}); err == nil {
+		t.Error("recursive DTD should be rejected")
+	}
+	if _, _, err := Check(s); err == nil {
+		t.Error("recursive DTD should be rejected by Check")
+	}
+}
+
+func TestNormalizeRejectsNonDisjunctive(t *testing.T) {
+	s := Spec{
+		DTD: dtd.MustParse(`
+<!ELEMENT r (s*)>
+<!ELEMENT s (a+ | b+)>
+<!ATTLIST s k CDATA #REQUIRED v CDATA #REQUIRED>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>`),
+		FDs: []xfd.FD{xfd.MustParse("r.s.@k -> r.s.@v")},
+	}
+	_, _, err := Check(s)
+	if err == nil || !strings.Contains(err.Error(), "disjunctive") {
+		t.Errorf("non-disjunctive DTD should fail with a pointer to BruteForce, got %v", err)
+	}
+}
+
+func TestApplyStepsWithoutDoc(t *testing.T) {
+	steps := []Step{{Kind: StepMoveAttribute}}
+	doc := xmltree.MustParseString("<r/>")
+	if err := ApplySteps(doc, steps); err == nil {
+		t.Error("step without Doc should fail")
+	}
+	if err := InvertSteps(doc, steps); err == nil {
+		t.Error("inverting step without Doc should fail")
+	}
+}
+
+func TestMeasureRedundancyErrors(t *testing.T) {
+	s := coursesSpec(t)
+	s.FDs = append(s.FDs, xfd.FD{
+		LHS: []dtd.Path{dtd.MustParsePath("courses.nope")},
+		RHS: []dtd.Path{dtd.MustParsePath("courses")},
+	})
+	doc := xmltree.MustParseString(load(t, "courses.xml"))
+	if _, err := MeasureRedundancy(s, doc); err == nil {
+		t.Error("invalid FD path should surface")
+	}
+}

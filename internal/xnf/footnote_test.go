@@ -1,0 +1,149 @@
+package xnf
+
+import (
+	"testing"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/regex"
+	"xmlnorm/internal/xfd"
+	"xmlnorm/internal/xmltree"
+)
+
+// The paper's Section 6 footnote: "If ⊥ can be a value of p.@l in
+// tuples(T), the definition must be modified slightly, by letting P'(τ)
+// be τ1,...,τn,(τ'|ε)". These tests exercise the variant: a courses
+// schema whose student name is *optional*, so some student numbers may
+// have no name at all — which is information the grouping element must
+// still represent.
+
+func optionalNameSpec(t *testing.T) Spec {
+	t.Helper()
+	return Spec{
+		DTD: dtd.MustParse(`
+<!ELEMENT courses (course*)>
+<!ELEMENT course (title, taken_by)>
+<!ATTLIST course cno CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT taken_by (student*)>
+<!ELEMENT student (name?, grade)>
+<!ATTLIST student sno CDATA #REQUIRED>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT grade (#PCDATA)>`),
+		FDs: []xfd.FD{
+			xfd.MustParse("courses.course.@cno -> courses.course"),
+			xfd.MustParse("courses.course, courses.course.taken_by.student.@sno -> courses.course.taken_by.student"),
+			xfd.MustParse("courses.course.taken_by.student.@sno -> courses.course.taken_by.student.name.S"),
+		},
+	}
+}
+
+// TestFootnoteSchema: the create-element construction makes the moved
+// element optional under τ when the carrier is optional.
+func TestFootnoteSchema(t *testing.T) {
+	s := optionalNameSpec(t)
+	names := Names{Preferred: map[string]string{
+		"tau:courses.course.taken_by.student.name.S":  "info",
+		"member:courses.course.taken_by.student.@sno": "number",
+	}}
+	out, steps, err := Normalize(s, Options{Names: names})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 1 {
+		t.Fatalf("steps = %v", steps)
+	}
+	info := out.DTD.Element("info")
+	if info == nil {
+		t.Fatalf("info missing:\n%s", out.DTD)
+	}
+	// P'(info) = (number*, name?) — the (τ'|ε) of the footnote.
+	m := regex.Compile(info.Model)
+	if !m.Match([]string{"number"}) {
+		t.Errorf("info should allow a name-less group: P(info) = %s", info.Model)
+	}
+	if !m.Match([]string{"number", "name"}) {
+		t.Errorf("info should still allow a named group: P(info) = %s", info.Model)
+	}
+	ok, anomalies, err := Check(out)
+	if err != nil || !ok {
+		t.Fatalf("footnote result not in XNF: %v %v", anomalies, err)
+	}
+}
+
+// TestFootnoteDocuments: documents where some students lack a name
+// migrate and reconstruct exactly.
+func TestFootnoteDocuments(t *testing.T) {
+	s := optionalNameSpec(t)
+	out, steps, err := Normalize(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// st1 has a name (in both courses); st2 has none anywhere.
+	doc := xmltree.MustParseString(`
+<courses>
+  <course cno="c1"><title>A</title><taken_by>
+    <student sno="st1"><name>Deere</name><grade>A</grade></student>
+    <student sno="st2"><grade>B</grade></student>
+  </taken_by></course>
+  <course cno="c2"><title>B</title><taken_by>
+    <student sno="st1"><name>Deere</name><grade>C</grade></student>
+    <student sno="st2"><grade>D</grade></student>
+  </taken_by></course>
+</courses>`)
+	if !xfd.SatisfiesAll(doc, s.FDs) {
+		t.Fatal("fixture must satisfy Σ (⊥ = ⊥ is agreement)")
+	}
+	original := doc.Clone()
+	if err := ApplySteps(doc, steps); err != nil {
+		t.Fatal(err)
+	}
+	if err := xmltree.ConformsUnordered(doc, out.DTD); err != nil {
+		t.Errorf("migrated document does not conform: %v\n%s", err, doc)
+	}
+	if !xfd.SatisfiesAll(doc, out.FDs) {
+		t.Error("migrated document violates Σ'")
+	}
+	if err := InvertSteps(doc, steps); err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Isomorphic(doc, original) {
+		t.Errorf("footnote round trip failed:\ngot:\n%s\nwant:\n%s", doc, original)
+	}
+}
+
+// TestFootnoteNotTriggeredWhenRequired: the original courses schema
+// (name required) keeps the plain construction — the exact Figure 1(b)
+// output must not regress.
+func TestFootnoteNotTriggeredWhenRequired(t *testing.T) {
+	s := coursesSpec(t)
+	out, _, err := Normalize(s, Options{Names: Names{Preferred: map[string]string{
+		"tau:courses.course.taken_by.student.name.S":  "info",
+		"member:courses.course.taken_by.student.@sno": "number",
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := out.DTD.Element("info")
+	// name is required inside info: a group without it must not match.
+	if regex.Compile(info.Model).Match([]string{"number"}) {
+		t.Errorf("required-name schema regressed to the optional form: %s", info.Model)
+	}
+}
+
+// TestFootnoteAttributeFormRejected: the attribute-form variant of the
+// footnote is reported, not silently mishandled.
+func TestFootnoteAttributeFormRejected(t *testing.T) {
+	s := Spec{
+		DTD: dtd.MustParse(`
+<!ELEMENT r (item*)>
+<!ELEMENT item (meta?)>
+<!ATTLIST item k CDATA #REQUIRED>
+<!ELEMENT meta EMPTY>
+<!ATTLIST meta v CDATA #REQUIRED>`),
+		FDs: []xfd.FD{xfd.MustParse("r.item.@k -> r.item.meta.@v")},
+	}
+	_, err := CreateElement(s, s.FDs[0], Names{})
+	if err == nil {
+		t.Fatal("nullable attribute-form RHS should be rejected with the footnote pointer")
+	}
+}

@@ -1,0 +1,225 @@
+package xnf
+
+import (
+	"testing"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/xfd"
+	"xmlnorm/internal/xmltree"
+)
+
+// TestLossless_University runs the full Figure 1 pipeline: the document
+// of Figure 1(a) is transformed into (an ≡-equivalent of) the document
+// of Figure 1(b) by the normalization's document transformation, and
+// reconstructed exactly (Proposition 8).
+func TestLossless_University(t *testing.T) {
+	s := coursesSpec(t)
+	names := Names{Preferred: map[string]string{
+		"tau:courses.course.taken_by.student.name.S":  "info",
+		"member:courses.course.taken_by.student.@sno": "number",
+	}}
+	out, steps, err := Normalize(s, Options{Names: names})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := xmltree.MustParseString(load(t, "courses.xml"))
+	original := doc.Clone()
+
+	if err := ApplySteps(doc, steps); err != nil {
+		t.Fatal(err)
+	}
+	// The transformed document is exactly Figure 1(b), as an unordered
+	// tree.
+	want := xmltree.MustParseString(load(t, "courses_xnf.xml"))
+	if !xmltree.Isomorphic(doc, want) {
+		t.Errorf("transformed document differs from Figure 1(b):\ngot:\n%s\nwant:\n%s", doc, want)
+	}
+	// It conforms to the new DTD (as an unordered tree) and satisfies
+	// the new FDs.
+	if err := xmltree.ConformsUnordered(doc, out.DTD); err != nil {
+		t.Errorf("transformed document does not conform: %v", err)
+	}
+	if !xfd.SatisfiesAll(doc, out.FDs) {
+		t.Error("transformed document violates the carried-over FDs")
+	}
+	// Reconstruction gives back the original document.
+	if err := InvertSteps(doc, steps); err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Isomorphic(doc, original) {
+		t.Errorf("reconstruction differs from the original:\ngot:\n%s\nwant:\n%s", doc, original)
+	}
+}
+
+// TestLossless_DBLP: the move-attribute transformation on the DBLP
+// document and its inverse.
+func TestLossless_DBLP(t *testing.T) {
+	s := dblpSpec(t)
+	out, steps, err := Normalize(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := xmltree.MustParseString(load(t, "dblp.xml"))
+	original := doc.Clone()
+
+	if err := ApplySteps(doc, steps); err != nil {
+		t.Fatal(err)
+	}
+	if err := xmltree.ConformsUnordered(doc, out.DTD); err != nil {
+		t.Errorf("transformed document does not conform: %v", err)
+	}
+	if !xfd.SatisfiesAll(doc, out.FDs) {
+		t.Error("transformed document violates the carried-over FDs")
+	}
+	// Issues now carry the year.
+	issues := doc.Root.Children[0].ChildrenLabelled("issue")
+	if len(issues) != 2 {
+		t.Fatalf("issues = %d", len(issues))
+	}
+	if y, _ := issues[0].Attr("year"); y != "2002" {
+		t.Errorf("issue year = %q", y)
+	}
+	// Papers no longer do.
+	for _, is := range issues {
+		for _, p := range is.ChildrenLabelled("inproceedings") {
+			if _, ok := p.Attr("year"); ok {
+				t.Error("inproceedings kept its year attribute")
+			}
+		}
+	}
+	if err := InvertSteps(doc, steps); err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Isomorphic(doc, original) {
+		t.Errorf("reconstruction differs from the original:\ngot:\n%s\nwant:\n%s", doc, original)
+	}
+}
+
+// TestLossless_AttributeForm exercises the attribute-form create step
+// (the paper's default formulation) end to end.
+func TestLossless_AttributeForm(t *testing.T) {
+	s := Spec{
+		DTD: dtd.MustParse(`
+<!ELEMENT r (emp*)>
+<!ELEMENT emp EMPTY>
+<!ATTLIST emp
+    id CDATA #REQUIRED
+    dept CDATA #REQUIRED
+    dname CDATA #REQUIRED>`),
+		FDs: []xfd.FD{
+			xfd.MustParse("r.emp.@id -> r.emp"),
+			xfd.MustParse("r.emp.@dept -> r.emp.@dname"),
+		},
+	}
+	out, steps, err := Normalize(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, anomalies, err := Check(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("not in XNF: %v", anomalies)
+	}
+	doc := xmltree.MustParseString(`
+<r>
+  <emp id="1" dept="cs" dname="Computer Science"/>
+  <emp id="2" dept="cs" dname="Computer Science"/>
+  <emp id="3" dept="math" dname="Mathematics"/>
+</r>`)
+	original := doc.Clone()
+	if err := ApplySteps(doc, steps); err != nil {
+		t.Fatal(err)
+	}
+	if err := xmltree.ConformsUnordered(doc, out.DTD); err != nil {
+		t.Errorf("transformed document does not conform: %v\n%s", err, doc)
+	}
+	if !xfd.SatisfiesAll(doc, out.FDs) {
+		t.Error("transformed document violates Σ'")
+	}
+	// dname is now stored once per department.
+	if got := countAttrs(doc, "dname"); got != 2 {
+		t.Errorf("dname stored %d times, want 2\n%s", got, doc)
+	}
+	if err := InvertSteps(doc, steps); err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Isomorphic(doc, original) {
+		t.Errorf("reconstruction differs:\ngot:\n%s\nwant:\n%s", doc, original)
+	}
+}
+
+// TestMoveStepErrors: conflicting or missing values are reported.
+func TestMoveStepErrors(t *testing.T) {
+	step := &MoveStep{
+		PAttr: dtd.MustParsePath("db.conf.issue.inproceedings.@year"),
+		Q:     dtd.MustParsePath("db.conf.issue"),
+		M:     "year",
+	}
+	// Conflicting years within one issue: the guarding FD is violated.
+	bad := xmltree.MustParseString(`
+<db><conf><title>X</title><issue>
+  <inproceedings key="a" pages="1" year="2001"><author>A</author><title>t</title><booktitle>b</booktitle></inproceedings>
+  <inproceedings key="b" pages="2" year="2002"><author>B</author><title>t</title><booktitle>b</booktitle></inproceedings>
+</issue></conf></db>`)
+	if err := step.Apply(bad); err == nil {
+		t.Error("conflicting values should fail")
+	}
+	// No descendant to take the value from.
+	empty := xmltree.MustParseString(`<db><conf><title>X</title><issue></issue></conf></db>`)
+	if err := step.Apply(empty); err == nil {
+		t.Error("missing descendant should fail")
+	}
+	// Invert on a document missing @m.
+	noAttr := xmltree.MustParseString(`<db><conf><title>X</title><issue></issue></conf></db>`)
+	if err := step.Invert(noAttr); err == nil {
+		t.Error("missing @m should fail on inversion")
+	}
+}
+
+func countAttrs(t *xmltree.Tree, name string) int {
+	n := 0
+	t.Walk(func(node *xmltree.Node, _ []string) bool {
+		if _, ok := node.Attr(name); ok {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// TestLossless_SimplifiedVariant: the implication-free algorithm's
+// steps also carry working document transformations.
+func TestLossless_SimplifiedVariant(t *testing.T) {
+	for _, fixture := range []struct {
+		spec func(*testing.T) Spec
+		doc  string
+	}{
+		{coursesSpec, "courses.xml"},
+		{dblpSpec, "dblp.xml"},
+	} {
+		s := fixture.spec(t)
+		out, steps, err := Normalize(s, Options{Simplified: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := xmltree.MustParseString(load(t, fixture.doc))
+		original := doc.Clone()
+		if err := ApplySteps(doc, steps); err != nil {
+			t.Fatalf("%s: apply: %v", fixture.doc, err)
+		}
+		if err := xmltree.ConformsUnordered(doc, out.DTD); err != nil {
+			t.Errorf("%s: migrated document does not conform: %v", fixture.doc, err)
+		}
+		if !xfd.SatisfiesAll(doc, out.FDs) {
+			t.Errorf("%s: migrated document violates Σ'", fixture.doc)
+		}
+		if err := InvertSteps(doc, steps); err != nil {
+			t.Fatalf("%s: invert: %v", fixture.doc, err)
+		}
+		if !xmltree.Isomorphic(doc, original) {
+			t.Errorf("%s: simplified-variant round trip failed", fixture.doc)
+		}
+	}
+}

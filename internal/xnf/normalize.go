@@ -1,0 +1,324 @@
+package xnf
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/implication"
+	"xmlnorm/internal/xfd"
+)
+
+// StepKind identifies which transformation a normalization step applied.
+type StepKind uint8
+
+// Step kinds.
+const (
+	StepMoveAttribute StepKind = iota
+	StepCreateElement
+)
+
+func (k StepKind) String() string {
+	if k == StepMoveAttribute {
+		return "move-attribute"
+	}
+	return "create-element"
+}
+
+// Step records one application of a transformation during
+// normalization.
+type Step struct {
+	Kind    StepKind
+	FD      xfd.FD   // the anomalous FD that triggered the step
+	Detail  string   // human-readable description of the rewrite
+	Dropped []xfd.FD // FDs that could not be carried to the new schema
+	// Renames maps old dotted paths to their replacements in this step.
+	Renames map[string]string
+	// Doc transforms documents across this step (and back).
+	Doc DocStep
+}
+
+// Options configures Normalize.
+type Options struct {
+	// Names controls the fresh element-type and attribute names.
+	Names Names
+	// MaxSteps caps the number of transformations (default 10·|Σ| + 10;
+	// Proposition 6 guarantees each step reduces the anomalous paths, so
+	// the cap only guards against bugs).
+	MaxSteps int
+	// Simplified selects the implication-free variant of Proposition 7:
+	// only "creating element types" is applied, to anomalous members of
+	// Σ, with no minimization. It still terminates with an XNF result
+	// but may produce a less economical schema.
+	Simplified bool
+	// VerifySteps re-checks Proposition 6 at every step: the new spec
+	// must validate and its anomalous-path count must strictly decrease.
+	// Costs one extra XNF analysis per step; intended for tests and
+	// paranoid pipelines.
+	VerifySteps bool
+}
+
+// Normalize converts (D, Σ) into a specification in XNF by repeatedly
+// applying the two transformations, following the decomposition
+// algorithm of Figure 4: prefer moving an attribute when some element
+// path q ∈ S determines the whole left-hand side, otherwise create a
+// new element type for a (D, Σ)-minimal anomalous FD.
+func Normalize(s Spec, opts Options) (Spec, []Step, error) {
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 10*len(s.FDs) + 10
+	}
+	cur := s.Clone()
+	var steps []Step
+	for iter := 0; ; iter++ {
+		if iter >= opts.MaxSteps {
+			return Spec{}, steps, fmt.Errorf("xnf: normalization did not converge in %d steps", opts.MaxSteps)
+		}
+		anomalies, err := Anomalies(cur)
+		if err != nil {
+			return Spec{}, steps, err
+		}
+		if len(anomalies) == 0 {
+			return cur, steps, nil
+		}
+		// Figure 4 searches anomalous FDs in the *closure*; minimizing
+		// each Σ anomaly first surfaces forms like {q} → p.@l on which
+		// the cheaper move-attribute step applies (a shipment/lane
+		// pattern reduces to the DBLP-style move this way).
+		candidates := make([]Anomaly, len(anomalies))
+		copy(candidates, anomalies)
+		if !opts.Simplified {
+			for i := range candidates {
+				min, err := minimize(cur, candidates[i].FD)
+				if err != nil {
+					return Spec{}, steps, err
+				}
+				candidates[i] = Anomaly{FD: min, Target: min.RHS[0].Parent()}
+			}
+		}
+		var step Step
+		var res TransformResult
+		applied := false
+		if !opts.Simplified {
+			res, step, applied, err = tryMove(cur, candidates, opts.Names)
+			if err != nil {
+				return Spec{}, steps, err
+			}
+		}
+		if !applied {
+			anomaly := candidates[0].FD
+			if err := normalFormOK(anomaly); err != nil {
+				return Spec{}, steps, err
+			}
+			res, err = CreateElement(cur, anomaly, opts.Names)
+			if err != nil {
+				return Spec{}, steps, err
+			}
+			step = Step{
+				Kind:   StepCreateElement,
+				FD:     anomaly,
+				Detail: fmt.Sprintf("created element type for %s: %s", anomaly.RHS[0], renameSummary(res.Renames)),
+			}
+		}
+		step.Dropped = res.Dropped
+		step.Renames = res.Renames
+		step.Doc = res.Doc
+		if opts.VerifySteps {
+			if err := res.Spec.Validate(); err != nil {
+				return Spec{}, steps, fmt.Errorf("xnf: step %d produced an invalid spec: %v", iter+1, err)
+			}
+			before, err := AnomalousPaths(cur)
+			if err != nil {
+				return Spec{}, steps, err
+			}
+			after, err := AnomalousPaths(res.Spec)
+			if err != nil {
+				return Spec{}, steps, err
+			}
+			if len(after) >= len(before) {
+				return Spec{}, steps, fmt.Errorf("xnf: step %d did not reduce anomalous paths (%d → %d); Proposition 6 violated",
+					iter+1, len(before), len(after))
+			}
+		}
+		steps = append(steps, step)
+		cur = res.Spec
+	}
+}
+
+// tryMove looks for an anomalous FD S → p.@l with an element path q ∈ S
+// such that q → S is implied, and applies the attribute move. Text
+// right-hand sides are left to the create-element transformation.
+func tryMove(s Spec, anomalies []Anomaly, names Names) (TransformResult, Step, bool, error) {
+	eng, err := implication.NewEngine(s.DTD, s.FDs)
+	if err != nil {
+		return TransformResult{}, Step{}, false, err
+	}
+	for _, a := range anomalies {
+		rhs := a.FD.RHS[0]
+		if !rhs.IsAttr() {
+			continue
+		}
+		for _, q := range lhsElemPaths(a.FD) {
+			ans, err := eng.Implies(xfd.FD{LHS: []dtd.Path{q}, RHS: a.FD.LHS})
+			if err != nil {
+				return TransformResult{}, Step{}, false, err
+			}
+			if !ans.Implied {
+				continue
+			}
+			l := strings.TrimPrefix(rhs.Last(), "@")
+			qElem := s.DTD.Element(q.Last())
+			m := names.fresh(func(n string) bool { return qElem.HasAttr(n) }, "attr:"+rhs.String(), l)
+			res, err := MoveAttribute(s, rhs, q, m)
+			if err != nil {
+				return TransformResult{}, Step{}, false, err
+			}
+			step := Step{
+				Kind:   StepMoveAttribute,
+				FD:     a.FD,
+				Detail: fmt.Sprintf("moved %s to %s.@%s", rhs, q, m),
+			}
+			return res, step, true, nil
+		}
+	}
+	return TransformResult{}, Step{}, false, nil
+}
+
+// minimize refines an anomalous FD to a (D, Σ)-minimal one: while some
+// strictly smaller anomalous FD exists over the definition's candidate
+// paths, switch to it (Section 6).
+func minimize(s Spec, f xfd.FD) (xfd.FD, error) {
+	eng, err := implication.NewEngine(s.DTD, s.FDs)
+	if err != nil {
+		return xfd.FD{}, err
+	}
+	cur := f
+	for depth := 0; depth < 20; depth++ {
+		smaller, found, err := findSmallerAnomalous(s.DTD, eng, cur)
+		if err != nil {
+			return xfd.FD{}, err
+		}
+		if !found {
+			return cur, nil
+		}
+		cur = smaller
+	}
+	return cur, nil
+}
+
+// findSmallerAnomalous searches the candidate space of the minimality
+// definition: subsets S' of {q, p1, ..., pn, p0.@l0, ..., pn.@ln} with
+// |S'| ≤ n and at most one element path, targeting any pᵢ.@lᵢ.
+func findSmallerAnomalous(d *dtd.DTD, eng *implication.Engine, f xfd.FD) (xfd.FD, bool, error) {
+	rhs := f.RHS[0]
+	var attrs []dtd.Path // p0.@l0 (the RHS), then the LHS attribute paths
+	attrs = append(attrs, rhs)
+	var candidates []dtd.Path
+	for _, q := range lhsElemPaths(f) {
+		candidates = append(candidates, q)
+	}
+	for _, p := range f.LHS {
+		if !p.IsElem() {
+			attrs = append(attrs, p)
+			candidates = append(candidates, p.Parent()) // pᵢ
+		}
+	}
+	candidates = append(candidates, attrs...)
+	candidates = dedupPaths(candidates)
+	n := len(attrs) - 1 // number of LHS attribute paths
+	if n < 1 {
+		return xfd.FD{}, false, nil
+	}
+	// Enumerate subsets of size ≤ n with ≤ 1 element path.
+	var subsets [][]dtd.Path
+	var rec func(i int, cur []dtd.Path, epaths int)
+	rec = func(i int, cur []dtd.Path, epaths int) {
+		if len(cur) > 0 {
+			subsets = append(subsets, append([]dtd.Path(nil), cur...))
+		}
+		if i == len(candidates) || len(cur) == n {
+			return
+		}
+		for j := i; j < len(candidates); j++ {
+			e := epaths
+			if candidates[j].IsElem() {
+				e++
+				if e > 1 {
+					continue
+				}
+			}
+			next := make([]dtd.Path, len(cur)+1)
+			copy(next, cur)
+			next[len(cur)] = candidates[j]
+			rec(j+1, next, e)
+		}
+	}
+	rec(0, nil, 0)
+	for _, sp := range subsets {
+		for _, target := range attrs {
+			cand := xfd.FD{LHS: sp, RHS: []dtd.Path{target}}
+			if cand.Equal(f) || pathIn(sp, target) {
+				continue
+			}
+			ans, err := eng.Implies(cand)
+			if err != nil {
+				return xfd.FD{}, false, err
+			}
+			if !ans.Implied {
+				continue
+			}
+			trivial, err := implication.Trivial(d, cand)
+			if err != nil {
+				return xfd.FD{}, false, err
+			}
+			if trivial {
+				continue
+			}
+			// Anomalous: S' must not determine the parent element.
+			parent, err := eng.Implies(xfd.FD{LHS: sp, RHS: []dtd.Path{target.Parent()}})
+			if err != nil {
+				return xfd.FD{}, false, err
+			}
+			if parent.Implied {
+				continue
+			}
+			return cand, true, nil
+		}
+	}
+	return xfd.FD{}, false, nil
+}
+
+func dedupPaths(ps []dtd.Path) []dtd.Path {
+	seen := map[string]bool{}
+	var out []dtd.Path
+	for _, p := range ps {
+		if p == nil || seen[p.String()] {
+			continue
+		}
+		seen[p.String()] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+func pathIn(ps []dtd.Path, p dtd.Path) bool {
+	for _, x := range ps {
+		if x.Equal(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func renameSummary(renames map[string]string) string {
+	var parts []string
+	for from, to := range renames {
+		parts = append(parts, fmt.Sprintf("%s → %s", from, to))
+	}
+	// Deterministic order for logs.
+	for i := 1; i < len(parts); i++ {
+		for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+			parts[j], parts[j-1] = parts[j-1], parts[j]
+		}
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,131 @@
+package xnf
+
+import (
+	"testing"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/xfd"
+)
+
+// TestPreservationUniversity: all three FDs of Example 1.1 survive the
+// normalization — FD1 and FD2 verbatim, FD3 rewritten onto the info
+// element.
+func TestPreservationUniversity(t *testing.T) {
+	s := coursesSpec(t)
+	out, steps, err := Normalize(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckPreservation(s, out, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("lost FDs: %v", rep.Lost)
+	}
+	if len(rep.Preserved) != 3 {
+		t.Fatalf("preserved = %d, want 3", len(rep.Preserved))
+	}
+	// FD3's rewriting targets the new grouping element.
+	var fd3 *PreservedFD
+	for i := range rep.Preserved {
+		if rep.Preserved[i].Original.Equal(s.FDs[2]) {
+			fd3 = &rep.Preserved[i]
+		}
+	}
+	if fd3 == nil {
+		t.Fatal("FD3 not in report")
+	}
+	if fd3.Rewritten.Equal(fd3.Original) {
+		t.Error("FD3 should have been rewritten")
+	}
+}
+
+// TestPreservationDBLP: FD5 becomes the trivial issue → issue.@year.
+func TestPreservationDBLP(t *testing.T) {
+	s := dblpSpec(t)
+	out, steps, err := Normalize(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckPreservation(s, out, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("lost FDs: %v", rep.Lost)
+	}
+	trivialCount := 0
+	for _, p := range rep.Preserved {
+		if p.Trivial {
+			trivialCount++
+			if got := p.Rewritten.String(); got != "db.conf.issue -> db.conf.issue.@year" {
+				t.Errorf("trivialized FD = %q", got)
+			}
+		}
+	}
+	if trivialCount != 1 {
+		t.Errorf("trivialized FDs = %d, want 1 (FD5)", trivialCount)
+	}
+}
+
+// TestPreservationLoss: an FD over a second occurrence of the moved
+// attribute's element type is genuinely lost (its path disappears from
+// the new DTD without a rewriting) and the report says so.
+func TestPreservationLoss(t *testing.T) {
+	// "meta" occurs under both item and box; moving @v away from meta
+	// (driven by the anomaly under item) kills box.meta.@v too.
+	s := Spec{
+		DTD: dtd.MustParse(`
+<!ELEMENT r (item*, box*)>
+<!ELEMENT item (meta)>
+<!ATTLIST item k CDATA #REQUIRED>
+<!ELEMENT box (meta)>
+<!ATTLIST box b CDATA #REQUIRED>
+<!ELEMENT meta EMPTY>
+<!ATTLIST meta v CDATA #REQUIRED>`),
+		FDs: []xfd.FD{
+			xfd.MustParse("r.item.@k -> r.item.meta.@v"),
+			xfd.MustParse("r.box.meta.@v -> r.box"),
+		},
+	}
+	out, steps, err := Normalize(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckPreservation(s, out, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatalf("expected a lost FD; preserved: %+v", rep.Preserved)
+	}
+	if len(rep.Lost) != 1 || !rep.Lost[0].Equal(s.FDs[1]) {
+		t.Errorf("lost = %v, want the box FD", rep.Lost)
+	}
+	// The steps recorded the drop as well.
+	dropped := 0
+	for _, st := range steps {
+		dropped += len(st.Dropped)
+	}
+	if dropped == 0 {
+		t.Error("steps did not record the dropped FD")
+	}
+}
+
+func TestComposeRenames(t *testing.T) {
+	steps := []Step{
+		{Renames: map[string]string{"a.x": "a.y"}},
+		{Renames: map[string]string{"a.y": "a.z", "b.p": "b.q"}},
+	}
+	got := composeRenames(steps)
+	if got["a.x"] != "a.z" {
+		t.Errorf("chained rename = %q, want a.z", got["a.x"])
+	}
+	if got["b.p"] != "b.q" {
+		t.Errorf("fresh rename = %q", got["b.p"])
+	}
+	if got["a.y"] != "a.z" {
+		t.Errorf("intermediate rename = %q", got["a.y"])
+	}
+}

@@ -1,0 +1,154 @@
+package xnf_test
+
+// External test package: the generators in internal/gen import packages
+// that (indirectly) build on xnf's dependencies, so the property tests
+// live outside to keep imports acyclic.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/gen"
+	"xmlnorm/internal/xfd"
+	"xmlnorm/internal/xmltree"
+	"xmlnorm/internal/xnf"
+)
+
+// randomChainSpec builds a chain spec of random depth with the FD3
+// pattern, plus optionally extra random value FDs.
+func randomChainSpec(seed uint64) xnf.Spec {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	depth := 2 + rng.Intn(4)
+	s := xnf.Spec{DTD: gen.ChainDTD(depth, 2), FDs: gen.ChainFDs(depth, 2)}
+	// Occasionally add a cross-level FD: a deep attribute determines a
+	// shallow one.
+	if rng.Intn(2) == 0 && depth >= 3 {
+		paths := gen.ChainPaths(depth)
+		deep := paths[depth].Child(fmt.Sprintf("@a%d_0", depth))
+		shallow := paths[2].Child("@a2_1")
+		s.FDs = append(s.FDs, xfd.FD{LHS: []dtd.Path{deep}, RHS: []dtd.Path{shallow}})
+	}
+	return s
+}
+
+// TestQuickNormalizeReachesXNF: Normalize always terminates with a spec
+// that passes the XNF check, in both variants.
+func TestQuickNormalizeReachesXNF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("normalization sweep")
+	}
+	f := func(seed uint64, simplified bool) bool {
+		s := randomChainSpec(seed)
+		out, steps, err := xnf.Normalize(s, xnf.Options{Simplified: simplified})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		ok, anomalies, err := xnf.Check(out)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if !ok {
+			t.Logf("seed %d: %d steps but still anomalous: %v", seed, len(steps), anomalies)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLosslessRoundTrip: documents generated for the chain family
+// survive transform + reconstruct across the normalization steps.
+func TestQuickLosslessRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("normalization sweep")
+	}
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		depth := 2 + rng.Intn(3)
+		s := xnf.Spec{DTD: gen.ChainDTD(depth, 2), FDs: gen.ChainFDs(depth, 2)}
+		_, steps, err := xnf.Normalize(s, xnf.Options{})
+		if err != nil {
+			return false
+		}
+		doc := gen.ChainDocument(depth, rng)
+		if err := xmltree.Conforms(doc, s.DTD); err != nil {
+			t.Logf("generated doc invalid: %v", err)
+			return false
+		}
+		if !xfd.SatisfiesAll(doc, s.FDs) {
+			return true // only FD-satisfying documents are migratable
+		}
+		original := doc.Clone()
+		if err := xnf.ApplySteps(doc, steps); err != nil {
+			t.Logf("seed %d apply: %v", seed, err)
+			return false
+		}
+		if err := xnf.InvertSteps(doc, steps); err != nil {
+			t.Logf("seed %d invert: %v", seed, err)
+			return false
+		}
+		if !xmltree.Isomorphic(doc, original) {
+			t.Logf("seed %d: round trip changed document", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCheckDeterministic: the XNF check gives the same verdict on
+// repeated runs and on a cloned spec.
+func TestQuickCheckDeterministic(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := randomChainSpec(seed)
+		a, _, err1 := xnf.Check(s)
+		b, _, err2 := xnf.Check(s.Clone())
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRedundancyNonNegative: measured redundancy is never negative
+// and zero whenever the spec is in XNF.
+func TestQuickRedundancyNonNegative(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		depth := 2 + rng.Intn(3)
+		s := xnf.Spec{DTD: gen.ChainDTD(depth, 2), FDs: gen.ChainFDs(depth, 2)}
+		doc := gen.ChainDocument(depth, rng)
+		rep, err := xnf.MeasureRedundancy(s, doc)
+		if err != nil {
+			return false
+		}
+		if rep.Redundant < 0 {
+			return false
+		}
+		for _, r := range rep.PerFD {
+			if r.Redundant < 0 || r.Occurrences < r.Groups && r.Redundant != 0 {
+				return false
+			}
+			if !strings.Contains(r.FD, "->") {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

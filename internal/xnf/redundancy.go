@@ -1,0 +1,85 @@
+package xnf
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/tuples"
+	"xmlnorm/internal/xmltree"
+)
+
+// FDRedundancy quantifies the redundancy one anomalous FD causes in a
+// document: the value determined by the left-hand side is stored once
+// per carrier node, but only one copy per distinct LHS value is
+// information.
+type FDRedundancy struct {
+	FD          string // the anomalous FD
+	Occurrences int    // carrier nodes storing the determined value
+	Groups      int    // distinct LHS value combinations
+	Redundant   int    // Occurrences - Groups
+}
+
+// RedundancyReport aggregates FDRedundancy over all anomalies of a
+// specification, reproducing the paper's motivation: "the name Deere
+// for student st1 is stored twice".
+type RedundancyReport struct {
+	PerFD     []FDRedundancy
+	Redundant int // total redundant stored values
+}
+
+// MeasureRedundancy counts, for each anomalous FD of the specification,
+// how many stored copies of the determined value the document carries
+// beyond one per distinct left-hand side.
+func MeasureRedundancy(s Spec, t *xmltree.Tree) (RedundancyReport, error) {
+	anomalies, err := Anomalies(s)
+	if err != nil {
+		return RedundancyReport{}, err
+	}
+	var rep RedundancyReport
+	for _, a := range anomalies {
+		rhs := a.FD.RHS[0]
+		carrier := rhs.Parent() // the node storing the value
+		paths := append(append([]dtd.Path{}, a.FD.LHS...), rhs, carrier)
+		carriers := map[xmltree.NodeID]bool{}
+		groups := map[string]bool{}
+		for _, tup := range tuples.Projections(t, paths) {
+			cv, ok := tup.Get(carrier)
+			if !ok {
+				continue
+			}
+			if _, ok := tup.Get(rhs); !ok {
+				continue
+			}
+			key, ok := lhsValueKey(tup, a.FD.LHS)
+			if !ok {
+				continue
+			}
+			carriers[cv.Node()] = true
+			groups[key] = true
+		}
+		r := FDRedundancy{
+			FD:          a.FD.String(),
+			Occurrences: len(carriers),
+			Groups:      len(groups),
+		}
+		if r.Occurrences > r.Groups {
+			r.Redundant = r.Occurrences - r.Groups
+		}
+		rep.PerFD = append(rep.PerFD, r)
+		rep.Redundant += r.Redundant
+	}
+	return rep, nil
+}
+
+func lhsValueKey(t tuples.Tuple, lhs []dtd.Path) (string, bool) {
+	var b strings.Builder
+	for _, p := range lhs {
+		v, ok := t.Get(p)
+		if !ok {
+			return "", false
+		}
+		fmt.Fprintf(&b, "%s|", v)
+	}
+	return b.String(), true
+}

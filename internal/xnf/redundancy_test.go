@@ -1,0 +1,65 @@
+package xnf
+
+import (
+	"testing"
+
+	"xmlnorm/internal/xmltree"
+)
+
+// TestRedundancyFigure1: in the document of Figure 1(a), "the name
+// Deere for student st1 is stored twice" — one redundant copy.
+func TestRedundancyFigure1(t *testing.T) {
+	s := coursesSpec(t)
+	doc := xmltree.MustParseString(load(t, "courses.xml"))
+	rep, err := MeasureRedundancy(s, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerFD) != 1 {
+		t.Fatalf("per-FD entries = %d, want 1 (only FD3 is anomalous)", len(rep.PerFD))
+	}
+	r := rep.PerFD[0]
+	// 4 name elements, 3 distinct student numbers: 1 redundant copy
+	// (Deere for st1).
+	if r.Occurrences != 4 || r.Groups != 3 || r.Redundant != 1 {
+		t.Errorf("redundancy = %+v, want 4 occurrences, 3 groups, 1 redundant", r)
+	}
+	if rep.Redundant != 1 {
+		t.Errorf("total redundant = %d", rep.Redundant)
+	}
+}
+
+// TestRedundancyDBLP: year is stored once per paper but determined per
+// issue: 3 papers in 2 issues → 1 redundant copy.
+func TestRedundancyDBLP(t *testing.T) {
+	s := dblpSpec(t)
+	doc := xmltree.MustParseString(load(t, "dblp.xml"))
+	rep, err := MeasureRedundancy(s, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Redundant != 1 {
+		t.Errorf("total redundant = %d, want 1 (%+v)", rep.Redundant, rep.PerFD)
+	}
+}
+
+// TestRedundancyGoneAfterNormalization: the normalized document has no
+// redundancy under the carried-over FDs.
+func TestRedundancyGoneAfterNormalization(t *testing.T) {
+	s := coursesSpec(t)
+	out, steps, err := Normalize(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := xmltree.MustParseString(load(t, "courses.xml"))
+	if err := ApplySteps(doc, steps); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := MeasureRedundancy(out, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Redundant != 0 {
+		t.Errorf("normalized document still redundant: %+v", rep)
+	}
+}

@@ -1,0 +1,129 @@
+package xnf
+
+import (
+	"fmt"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/xfd"
+	"xmlnorm/internal/xmltree"
+)
+
+// Section 6 of the paper assumes FDs carry at most one element path on
+// the left-hand side and remarks that others "can be easily eliminated
+// by creating a new attribute @l and splitting {q, q'} ∪ S → p into
+// q'.@l → q' and {q, q'.@l} ∪ S → p". This file implements that
+// elimination: a surrogate key attribute is added to the extra element
+// path's element type, declared a key by a new FD, and substituted for
+// the element path in every offending FD. The corresponding document
+// step (SurrogateStep) assigns fresh values; its inverse simply drops
+// the synthetic attribute, so the pipeline stays lossless.
+
+// SurrogateStep is the document counterpart of introducing a surrogate
+// key attribute on the nodes of one element path.
+type SurrogateStep struct {
+	Q    dtd.Path // the element path receiving the key
+	Attr string   // the synthetic attribute name
+}
+
+func (s *SurrogateStep) String() string {
+	return fmt.Sprintf("add surrogate key %s.@%s", s.Q, s.Attr)
+}
+
+// Apply assigns a distinct value to each node at the path.
+func (s *SurrogateStep) Apply(t *xmltree.Tree) error {
+	for i, ln := range nodesAt(t, s.Q) {
+		ln.node.SetAttr(s.Attr, fmt.Sprintf("%s%d", s.Attr, i+1))
+	}
+	return nil
+}
+
+// Invert removes the synthetic attribute.
+func (s *SurrogateStep) Invert(t *xmltree.Tree) error {
+	for _, ln := range nodesAt(t, s.Q) {
+		delete(ln.node.Attrs, s.Attr)
+	}
+	return nil
+}
+
+// EliminateMultiElementLHS rewrites Σ so that every FD has at most one
+// element path on its left-hand side, returning the new specification
+// and one Step per surrogate key introduced. The FD that keeps its
+// element path is the one with the shortest path (the outermost scope);
+// deeper element paths are replaced by surrogate keys.
+func EliminateMultiElementLHS(s Spec, names Names) (Spec, []Step, error) {
+	if err := s.Validate(); err != nil {
+		return Spec{}, nil, err
+	}
+	cur := s.Clone()
+	var steps []Step
+	// Surrogates already created in this run, by path.
+	created := map[string]dtd.Path{} // q' path -> surrogate attribute path
+	for {
+		var offending *xfd.FD
+		for i := range cur.FDs {
+			if len(lhsElemPaths(cur.FDs[i])) > 1 {
+				offending = &cur.FDs[i]
+				break
+			}
+		}
+		if offending == nil {
+			return cur, steps, nil
+		}
+		elems := lhsElemPaths(*offending)
+		// Keep the shortest element path; replace the others.
+		keep := elems[0]
+		for _, e := range elems[1:] {
+			if len(e) < len(keep) {
+				keep = e
+			}
+		}
+		for _, q := range elems {
+			if q.Equal(keep) {
+				continue
+			}
+			attrPath, ok := created[q.String()]
+			if !ok {
+				elem := cur.DTD.Element(q.Last())
+				if elem == nil {
+					return Spec{}, nil, fmt.Errorf("xnf: element %q not declared", q.Last())
+				}
+				attr := names.fresh(func(n string) bool { return elem.HasAttr(n) },
+					"surrogate:"+q.String(), "id")
+				if err := cur.DTD.AddAttr(q.Last(), attr); err != nil {
+					return Spec{}, nil, err
+				}
+				attrPath = q.Child("@" + attr)
+				created[q.String()] = attrPath
+				// The surrogate is a key: q'.@id → q'.
+				cur.FDs = append(cur.FDs, xfd.FD{LHS: []dtd.Path{attrPath}, RHS: []dtd.Path{q.Clone()}})
+				steps = append(steps, Step{
+					Kind:   StepCreateElement, // schema-extending step
+					FD:     *offending,
+					Detail: fmt.Sprintf("introduced surrogate key %s", attrPath),
+					Doc:    &SurrogateStep{Q: q.Clone(), Attr: attr},
+				})
+			}
+			// Substitute q' by its surrogate in the offending FD.
+			replaceLHSPath(offending, q, attrPath)
+		}
+	}
+}
+
+func replaceLHSPath(f *xfd.FD, from, to dtd.Path) {
+	for i, p := range f.LHS {
+		if p.Equal(from) {
+			f.LHS[i] = to.Clone()
+		}
+	}
+}
+
+// HasMultiElementLHS reports whether some FD of Σ has more than one
+// element path on its left-hand side (the form Section 6 excludes).
+func HasMultiElementLHS(s Spec) bool {
+	for _, f := range s.FDs {
+		if len(lhsElemPaths(f)) > 1 {
+			return true
+		}
+	}
+	return false
+}

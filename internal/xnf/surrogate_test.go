@@ -1,0 +1,156 @@
+package xnf
+
+import (
+	"testing"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/xfd"
+	"xmlnorm/internal/xmltree"
+)
+
+// multiSpec has an FD with two element paths on the LHS: within one
+// order, the (product, warehouse) pair determines the shipment's lane.
+func multiSpec() Spec {
+	return Spec{
+		DTD: dtd.MustParse(`
+<!ELEMENT orders (order*)>
+<!ELEMENT order (shipment*)>
+<!ATTLIST order oid CDATA #REQUIRED>
+<!ELEMENT shipment (leg*)>
+<!ATTLIST shipment sid CDATA #REQUIRED>
+<!ELEMENT leg EMPTY>
+<!ATTLIST leg lane CDATA #REQUIRED>`),
+		FDs: []xfd.FD{
+			xfd.MustParse("orders.order, orders.order.shipment -> orders.order.shipment.leg.@lane"),
+		},
+	}
+}
+
+func TestHasMultiElementLHS(t *testing.T) {
+	if !HasMultiElementLHS(multiSpec()) {
+		t.Error("multiSpec should be detected")
+	}
+	single := Spec{DTD: multiSpec().DTD, FDs: []xfd.FD{
+		xfd.MustParse("orders.order.@oid -> orders.order"),
+	}}
+	if HasMultiElementLHS(single) {
+		t.Error("single element path misdetected")
+	}
+}
+
+func TestEliminateMultiElementLHS(t *testing.T) {
+	s := multiSpec()
+	out, steps, err := EliminateMultiElementLHS(s, Names{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HasMultiElementLHS(out) {
+		t.Fatalf("elimination left a multi-element LHS: %v", out.FDs)
+	}
+	if len(steps) != 1 {
+		t.Fatalf("steps = %v", steps)
+	}
+	// The deeper path (shipment) got the surrogate; the order element
+	// path survives.
+	if !out.DTD.Element("shipment").HasAttr("id") {
+		t.Errorf("shipment should carry the surrogate key:\n%s", out.DTD)
+	}
+	// A key FD for the surrogate was added.
+	foundKey := false
+	for _, f := range out.FDs {
+		if f.String() == "orders.order.shipment.@id -> orders.order.shipment" {
+			foundKey = true
+		}
+	}
+	if !foundKey {
+		t.Errorf("surrogate key FD missing: %v", out.FDs)
+	}
+	// The rewritten spec is usable by the rest of the pipeline.
+	if _, _, err := Check(out); err != nil {
+		t.Fatalf("Check on rewritten spec: %v", err)
+	}
+	if _, _, err := Normalize(out, Options{}); err != nil {
+		t.Fatalf("Normalize on rewritten spec: %v", err)
+	}
+}
+
+func TestSurrogateStepDocuments(t *testing.T) {
+	s := multiSpec()
+	_, steps, err := EliminateMultiElementLHS(s, Names{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := xmltree.MustParseString(`
+<orders>
+  <order oid="o1">
+    <shipment sid="s1"><leg lane="L1"/><leg lane="L1"/></shipment>
+    <shipment sid="s2"><leg lane="L2"/></shipment>
+  </order>
+</orders>`)
+	original := doc.Clone()
+	if err := ApplySteps(doc, steps); err != nil {
+		t.Fatal(err)
+	}
+	// Every shipment now carries a distinct surrogate.
+	seen := map[string]bool{}
+	for _, sh := range doc.Root.Children[0].ChildrenLabelled("shipment") {
+		v, ok := sh.Attr("id")
+		if !ok {
+			t.Fatal("shipment missing surrogate")
+		}
+		if seen[v] {
+			t.Errorf("surrogate value %q repeated", v)
+		}
+		seen[v] = true
+	}
+	if err := InvertSteps(doc, steps); err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Isomorphic(doc, original) {
+		t.Errorf("surrogate round trip changed the document:\n%s", doc)
+	}
+}
+
+// TestEliminationIdempotent: running the elimination twice changes
+// nothing the second time.
+func TestEliminationIdempotent(t *testing.T) {
+	s := multiSpec()
+	out, _, err := EliminateMultiElementLHS(s, Names{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, steps, err := EliminateMultiElementLHS(out, Names{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 0 {
+		t.Errorf("second elimination applied steps: %v", steps)
+	}
+	if len(again.FDs) != len(out.FDs) {
+		t.Error("second elimination changed Σ")
+	}
+}
+
+// TestEliminationSharedPath: two FDs sharing the same extra element
+// path reuse one surrogate.
+func TestEliminationSharedPath(t *testing.T) {
+	s := multiSpec()
+	s.FDs = append(s.FDs,
+		xfd.MustParse("orders.order, orders.order.shipment -> orders.order.shipment.@sid"))
+	out, steps, err := EliminateMultiElementLHS(s, Names{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 1 {
+		t.Errorf("expected one shared surrogate, got %d steps", len(steps))
+	}
+	count := 0
+	for _, a := range out.DTD.Element("shipment").Attrs {
+		if a == "id" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("surrogate declared %d times", count)
+	}
+}

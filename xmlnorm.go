@@ -1,0 +1,216 @@
+// Package xmlnorm is a library for XML design theory: functional
+// dependencies over DTD paths, the XML normal form XNF, and lossless
+// XNF normalization, implementing Arenas & Libkin, "A Normal Form for
+// XML Documents" (PODS 2002).
+//
+// The top-level API works on specifications — a DTD plus a set of
+// functional dependencies — written in a plain-text format: the DTD in
+// standard <!ELEMENT>/<!ATTLIST> syntax, a line containing only "%%",
+// then one FD per line in dotted-path notation:
+//
+//	<!ELEMENT courses (course*)>
+//	<!ELEMENT course (title, taken_by)>
+//	...
+//	%%
+//	courses.course.@cno -> courses.course
+//	courses.course.taken_by.student.@sno -> courses.course.taken_by.student.name.S
+//
+// The heavy lifting lives in the internal packages:
+//
+//	internal/dtd         DTDs, paths, Section 7 classifications
+//	internal/xmltree     the XML tree model, conformance, subsumption
+//	internal/tuples      tree tuples (Section 3)
+//	internal/xfd         XML functional dependencies (Section 4)
+//	internal/implication FD implication (Theorems 3-5)
+//	internal/xnf         XNF, normalization, losslessness (Sections 5-6)
+//	internal/relational  BCNF substrate and Proposition 4 encoding
+//	internal/nested      nested relations, NNF, Proposition 5 encoding
+//	internal/table       Codd tables and null-aware relational algebra
+//	internal/gen         workload generators for tests and benchmarks
+package xmlnorm
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/implication"
+	"xmlnorm/internal/xfd"
+	"xmlnorm/internal/xmltree"
+	"xmlnorm/internal/xnf"
+)
+
+// Re-exported core types. The library's own packages are internal;
+// these aliases are the supported public surface.
+type (
+	// Spec is a specification (D, Σ).
+	Spec = xnf.Spec
+	// DTD is a Document Type Definition.
+	DTD = dtd.DTD
+	// Path is a dotted DTD path.
+	Path = dtd.Path
+	// FD is an XML functional dependency.
+	FD = xfd.FD
+	// Tree is an XML document tree.
+	Tree = xmltree.Tree
+	// Anomaly is an XNF violation.
+	Anomaly = xnf.Anomaly
+	// Step is one normalization step.
+	Step = xnf.Step
+	// NormalizeOptions configures Normalize.
+	NormalizeOptions = xnf.Options
+	// ImplicationAnswer is the result of an implication test.
+	ImplicationAnswer = implication.Answer
+	// RedundancyReport quantifies update-anomaly-causing redundancy.
+	RedundancyReport = xnf.RedundancyReport
+	// Preservation reports which original FDs survive a normalization.
+	Preservation = xnf.Preservation
+)
+
+// ParseSpec reads the "DTD %% FDs" specification format. The FD section
+// may be empty or absent.
+func ParseSpec(text string) (Spec, error) {
+	dtdPart, fdPart := splitSpec(text)
+	d, err := dtd.Parse(dtdPart)
+	if err != nil {
+		return Spec{}, err
+	}
+	fds, err := xfd.ParseSet(fdPart)
+	if err != nil {
+		return Spec{}, err
+	}
+	s := Spec{DTD: d, FDs: fds}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+func splitSpec(text string) (string, string) {
+	lines := strings.Split(text, "\n")
+	for i, l := range lines {
+		if strings.TrimSpace(l) == "%%" {
+			return strings.Join(lines[:i], "\n"), strings.Join(lines[i+1:], "\n")
+		}
+	}
+	return text, ""
+}
+
+// FormatSpec renders a specification in the parseable format.
+func FormatSpec(s Spec) string {
+	var b strings.Builder
+	b.WriteString(s.DTD.String())
+	b.WriteString("%%\n")
+	b.WriteString(xfd.FormatSet(s.FDs))
+	return b.String()
+}
+
+// ParseDocument reads an XML document.
+func ParseDocument(text string) (*Tree, error) {
+	return xmltree.ParseString(text)
+}
+
+// CheckXNF decides whether the specification is in XNF and returns the
+// anomalous FDs.
+func CheckXNF(s Spec) (bool, []Anomaly, error) { return xnf.Check(s) }
+
+// Normalize converts the specification into one in XNF, returning the
+// applied steps; each step carries the document transformation needed
+// to migrate documents (see TransformDocument).
+func Normalize(s Spec, opts NormalizeOptions) (Spec, []Step, error) {
+	return xnf.Normalize(s, opts)
+}
+
+// TransformDocument migrates a document of the original DTD across the
+// steps returned by Normalize, in place.
+func TransformDocument(t *Tree, steps []Step) error { return xnf.ApplySteps(t, steps) }
+
+// ReconstructDocument inverts TransformDocument, witnessing that the
+// decomposition was lossless.
+func ReconstructDocument(t *Tree, steps []Step) error { return xnf.InvertSteps(t, steps) }
+
+// CheckPreservation reports which of the original FDs are still
+// enforced by the normalized specification (after rewriting their paths
+// along the transformation steps) — the XML analogue of relational
+// dependency preservation.
+func CheckPreservation(orig, norm Spec, steps []Step) (Preservation, error) {
+	return xnf.CheckPreservation(orig, norm, steps)
+}
+
+// MinimalCover computes an equivalent reduced FD set: single right-hand
+// sides, no trivial FDs, no extraneous LHS paths, no redundant members.
+func MinimalCover(s Spec) ([]FD, error) { return xnf.MinimalCover(s) }
+
+// Implies decides (D, Σ) ⊢ q.
+func Implies(s Spec, q FD) (ImplicationAnswer, error) {
+	return implication.Implies(s.DTD, s.FDs, q)
+}
+
+// Trivial decides whether q follows from the DTD alone.
+func Trivial(d *DTD, q FD) (bool, error) { return implication.Trivial(d, q) }
+
+// Satisfies checks T ⊨ q.
+func Satisfies(t *Tree, q FD) bool { return xfd.Satisfies(t, q) }
+
+// SatisfiesAll checks T ⊨ Σ.
+func SatisfiesAll(t *Tree, sigma []FD) bool { return xfd.SatisfiesAll(t, sigma) }
+
+// Conforms checks T ⊨ D; ConformsUnordered checks [T] ⊨ D.
+func Conforms(t *Tree, d *DTD) error { return xmltree.Conforms(t, d) }
+
+// ConformsUnordered checks conformance up to reordering of children.
+func ConformsUnordered(t *Tree, d *DTD) error { return xmltree.ConformsUnordered(t, d) }
+
+// MeasureRedundancy quantifies the redundancy the specification's
+// anomalous FDs cause in a document.
+func MeasureRedundancy(s Spec, t *Tree) (RedundancyReport, error) {
+	return xnf.MeasureRedundancy(s, t)
+}
+
+// Classify summarizes a DTD against the paper's Section 7 taxonomy.
+type Classification struct {
+	Recursive   bool
+	Simple      bool
+	Disjunctive bool
+	ND          int64 // 0 when not disjunctive or recursive
+	Relational  string
+	Paths       int // 0 when recursive
+}
+
+// ClassifyDTD computes the classification.
+func ClassifyDTD(d *DTD) Classification {
+	c := Classification{
+		Recursive:   d.IsRecursive(),
+		Simple:      d.IsSimple(),
+		Disjunctive: d.IsDisjunctive(),
+		Relational:  d.RelationalHeuristic().String(),
+	}
+	if !c.Recursive {
+		if ps, err := d.Paths(); err == nil {
+			c.Paths = len(ps)
+		}
+		if c.Disjunctive {
+			if nd, err := d.ND(); err == nil {
+				c.ND = nd
+			}
+		}
+	}
+	return c
+}
+
+// String renders the classification.
+func (c Classification) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "recursive:   %v\n", c.Recursive)
+	fmt.Fprintf(&b, "simple:      %v\n", c.Simple)
+	fmt.Fprintf(&b, "disjunctive: %v", c.Disjunctive)
+	if c.Disjunctive && !c.Recursive {
+		fmt.Fprintf(&b, " (N_D = %d)", c.ND)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "relational:  %s\n", c.Relational)
+	if !c.Recursive {
+		fmt.Fprintf(&b, "paths(D):    %d\n", c.Paths)
+	}
+	return b.String()
+}

@@ -1,0 +1,151 @@
+package xmlnorm
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func load(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec(load(t, "courses.spec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DTD.Root() != "courses" || len(s.FDs) != 3 {
+		t.Fatalf("spec = root %q, %d FDs", s.DTD.Root(), len(s.FDs))
+	}
+	// Round trip.
+	again, err := ParseSpec(FormatSpec(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.FDs) != 3 {
+		t.Errorf("round trip lost FDs")
+	}
+	// DTD-only spec.
+	only, err := ParseSpec(load(t, "courses.dtd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(only.FDs) != 0 {
+		t.Error("DTD-only spec should have no FDs")
+	}
+	// Errors.
+	if _, err := ParseSpec("garbage"); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ParseSpec(load(t, "courses.dtd") + "%%\nbad fd line"); err == nil {
+		t.Error("bad FD accepted")
+	}
+	if _, err := ParseSpec(load(t, "courses.dtd") + "%%\ncourses.nope -> courses"); err == nil {
+		t.Error("FD over invalid path accepted")
+	}
+}
+
+// TestEndToEnd drives the whole pipeline through the public API: parse,
+// check, normalize, migrate the document, measure redundancy,
+// reconstruct.
+func TestEndToEnd(t *testing.T) {
+	s, err := ParseSpec(load(t, "courses.spec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, anomalies, err := CheckXNF(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || len(anomalies) != 1 {
+		t.Fatalf("check: ok=%v anomalies=%v", ok, anomalies)
+	}
+
+	doc, err := ParseDocument(load(t, "courses.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Conforms(doc, s.DTD); err != nil {
+		t.Fatal(err)
+	}
+	if !SatisfiesAll(doc, s.FDs) {
+		t.Fatal("document should satisfy Σ")
+	}
+	before, err := MeasureRedundancy(s, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Redundant != 1 {
+		t.Errorf("redundancy before = %d, want 1", before.Redundant)
+	}
+
+	out, steps, err := Normalize(s, NormalizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _, err = CheckXNF(out)
+	if err != nil || !ok {
+		t.Fatalf("normalized spec not XNF: %v %v", ok, err)
+	}
+
+	original := doc.Clone()
+	if err := TransformDocument(doc, steps); err != nil {
+		t.Fatal(err)
+	}
+	if err := ConformsUnordered(doc, out.DTD); err != nil {
+		t.Errorf("migrated document: %v", err)
+	}
+	after, err := MeasureRedundancy(out, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Redundant != 0 {
+		t.Errorf("redundancy after = %d, want 0", after.Redundant)
+	}
+	if err := ReconstructDocument(doc, steps); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Canonical() != original.Canonical() {
+		t.Error("reconstruction is not the original document")
+	}
+}
+
+func TestImpliesAndTrivial(t *testing.T) {
+	s, err := ParseSpec(load(t, "dblp.spec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := s.FDs[1] // FD5 is in Σ
+	ans, err := Implies(s, q)
+	if err != nil || !ans.Implied {
+		t.Fatalf("Σ member should be implied: %v %v", ans, err)
+	}
+	triv, err := Trivial(s.DTD, q)
+	if err != nil || triv {
+		t.Fatalf("FD5 is not trivial: %v %v", triv, err)
+	}
+}
+
+func TestClassifyDTD(t *testing.T) {
+	s, err := ParseSpec(load(t, "courses.spec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ClassifyDTD(s.DTD)
+	if !c.Simple || !c.Disjunctive || c.Recursive || c.ND != 1 || c.Paths != 12 {
+		t.Errorf("classification = %+v", c)
+	}
+	out := c.String()
+	for _, want := range []string{"simple:      true", "N_D = 1", "paths(D):    12"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("classification output missing %q:\n%s", want, out)
+		}
+	}
+}
