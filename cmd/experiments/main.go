@@ -1,42 +1,58 @@
-// Command experiments runs the full experiment suite — one table per
+// Command experiments runs the experiment suite — one table per
 // figure, example, proposition and theorem of the paper (see DESIGN.md's
 // per-experiment index) — and prints the tables. EXPERIMENTS.md records
 // a reference run with the paper-vs-measured comparison.
 //
 // Usage:
 //
-//	experiments            run everything
-//	experiments E6 E9      run selected experiments
+//	experiments [-parallel N] [-cache=BOOL]            run everything
+//	experiments [-parallel N] [-cache=BOOL] E6 E9      run selected experiments
+//
+// -parallel sets the implication-engine worker count (0 = GOMAXPROCS)
+// and -cache toggles its closure cache; both feed the engine-backed
+// experiments E6–E9 and E16. The process exits nonzero when any table
+// reports a MISMATCH between the paper's claim and the measured
+// outcome, so CI can gate on the suite.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"xmlnorm/internal/bench"
+	"xmlnorm/internal/engine"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	code, err := run(os.Args[1:])
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+	os.Exit(code)
 }
 
-func run(args []string) error {
-	tables, err := bench.All()
+func run(args []string) (int, error) {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	parallel := fs.Int("parallel", 0, "engine worker count (0 = GOMAXPROCS)")
+	cache := fs.Bool("cache", true, "enable the engine's implication cache")
+	if err := fs.Parse(args); err != nil {
+		return 1, err
+	}
+	opts := bench.Options{Engine: engine.Options{Workers: *parallel, NoCache: !*cache}}
+	tables, err := bench.Run(fs.Args(), opts)
 	if err != nil {
-		return err
+		return 1, err
 	}
-	selected := map[string]bool{}
-	for _, a := range args {
-		selected[a] = true
-	}
+	mismatches := 0
 	for _, t := range tables {
-		if len(selected) > 0 && !selected[t.ID] {
-			continue
-		}
 		fmt.Println(t)
+		mismatches += len(t.Mismatches)
 	}
-	return nil
+	if mismatches > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d mismatch(es) — see MISMATCH lines above\n", mismatches)
+		return 1, nil
+	}
+	return 0, nil
 }

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// captureBoth runs fn with stdout and stderr redirected and returns
+// both streams.
+func captureBoth(t *testing.T, fn func() error) (stdout, stderr string, err error) {
+	t.Helper()
+	oldOut, oldErr := os.Stdout, os.Stderr
+	outR, outW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	errR, errW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout, os.Stderr = outW, errW
+	outC := make(chan string, 1)
+	errC := make(chan string, 1)
+	go func() { b, _ := io.ReadAll(outR); outC <- string(b) }()
+	go func() { b, _ := io.ReadAll(errR); errC <- string(b) }()
+	runErr := fn()
+	outW.Close()
+	errW.Close()
+	os.Stdout, os.Stderr = oldOut, oldErr
+	stdout, stderr = <-outC, <-errC
+	outR.Close()
+	errR.Close()
+	return stdout, stderr, runErr
+}
+
+// TestGoldenOutput pins the CLI's observable behavior on the paper's
+// two specifications: stdout, stderr and the negative-result signal
+// must match the recorded golden files byte for byte, in the default
+// configuration and across the -parallel/-cache matrix (the engine's
+// knobs must never change answers or output).
+func TestGoldenOutput(t *testing.T) {
+	cases := []struct {
+		golden   string
+		args     []string
+		negative bool // command exits with the negative-result code
+	}{
+		{"check_courses.golden", []string{"check", td("courses.spec")}, true},
+		{"check_dblp.golden", []string{"check", td("dblp.spec")}, true},
+		{"normalize_courses.golden", []string{"normalize", "-v", td("courses.spec")}, false},
+		{"normalize_dblp.golden", []string{"normalize", "-v", td("dblp.spec")}, false},
+	}
+	configs := [][]string{
+		nil,                                // defaults: GOMAXPROCS workers, cache on
+		{"-parallel", "1", "-cache=false"}, // the seed's sequential path
+		{"-parallel", "8"},
+		{"-parallel", "4", "-cache=false"},
+	}
+	for _, c := range cases {
+		want, err := os.ReadFile(filepath.Join("testdata", c.golden))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range configs {
+			args := append(append([]string{}, cfg...), c.args...)
+			stdout, stderr, runErr := captureBoth(t, func() error { return run(args) })
+			if c.negative != errors.Is(runErr, errNegative) {
+				t.Errorf("run(%v): err = %v, want negative=%v", args, runErr, c.negative)
+				continue
+			}
+			if !c.negative && runErr != nil {
+				t.Errorf("run(%v): %v", args, runErr)
+				continue
+			}
+			got := stdout + "-- stderr --\n" + stderr
+			if got != string(want) {
+				t.Errorf("run(%v) output differs from %s:\n--- got ---\n%s\n--- want ---\n%s",
+					args, c.golden, got, want)
+			}
+		}
+	}
+}

@@ -17,6 +17,16 @@
 //
 // A spec file is a DTD in <!ELEMENT>/<!ATTLIST> syntax, then a line
 // "%%", then one FD per line ("path, path -> path").
+//
+// Global flags (before the subcommand) tune the implication engine:
+//
+//	xnf [-parallel N] [-cache=BOOL] <command> ...
+//
+// -parallel sets the worker goroutines for batched implication queries
+// (0 = GOMAXPROCS, 1 = sequential); -cache toggles answer memoization
+// (default on). Both default to the fastest setting; the sequential
+// uncached path (-parallel=1 -cache=false) produces identical output
+// and exists for measurement and differential testing.
 package main
 
 import (
@@ -49,10 +59,22 @@ func main() {
 var errNegative = errors.New("negative result")
 
 func usage() error {
-	return fmt.Errorf("usage: xnf <check|normalize|implies|classify|tuples|redundancy|transform|validate|cover> ...")
+	return fmt.Errorf("usage: xnf [-parallel N] [-cache=BOOL] <check|normalize|implies|classify|tuples|redundancy|transform|validate|cover> ...")
 }
 
+// engOpts is the engine configuration shared by all subcommands, set
+// from the global -parallel/-cache flags.
+var engOpts xmlnorm.EngineOptions
+
 func run(args []string) error {
+	fs := flag.NewFlagSet("xnf", flag.ContinueOnError)
+	parallel := fs.Int("parallel", 0, "implication worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+	cache := fs.Bool("cache", true, "memoize implication answers")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	engOpts = xmlnorm.EngineOptions{Workers: *parallel, NoCache: !*cache}
+	args = fs.Args()
 	if len(args) < 1 {
 		return usage()
 	}
@@ -110,7 +132,7 @@ func cmdCheck(args []string) error {
 	if err != nil {
 		return err
 	}
-	ok, anomalies, err := xmlnorm.CheckXNF(s)
+	ok, anomalies, err := xmlnorm.CheckXNFOpts(s, engOpts)
 	if err != nil {
 		return err
 	}
@@ -146,7 +168,7 @@ func cmdNormalize(args []string) error {
 	if err != nil {
 		return err
 	}
-	out, steps, err := xmlnorm.Normalize(s, xmlnorm.NormalizeOptions{Simplified: *simplified})
+	out, steps, err := xmlnorm.Normalize(s, xmlnorm.NormalizeOptions{Simplified: *simplified, Engine: engOpts})
 	if err != nil {
 		return err
 	}
@@ -194,7 +216,7 @@ func cmdImplies(args []string) error {
 	if err != nil {
 		return err
 	}
-	ans, err := xmlnorm.Implies(s, q)
+	ans, err := xmlnorm.ImpliesOpts(s, q, engOpts)
 	if err != nil {
 		return err
 	}
@@ -307,7 +329,7 @@ func cmdTransform(args []string) error {
 	if err := xmlnorm.ConformsUnordered(doc, s.DTD); err != nil {
 		return fmt.Errorf("document does not conform to the spec: %v", err)
 	}
-	_, steps, err := xmlnorm.Normalize(s, xmlnorm.NormalizeOptions{})
+	_, steps, err := xmlnorm.Normalize(s, xmlnorm.NormalizeOptions{Engine: engOpts})
 	if err != nil {
 		return err
 	}

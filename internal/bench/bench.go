@@ -24,6 +24,18 @@ type Table struct {
 	Header Row
 	Rows   []Row
 	Notes  string
+	// Mismatches lists reproduction checks that failed (see Expect);
+	// empty for a clean run. cmd/experiments exits nonzero when any
+	// table carries mismatches, so CI can gate on the suite.
+	Mismatches []string
+}
+
+// Expect records one reproduction check: when cond is false the table
+// is marked mismatched with the formatted explanation.
+func (t *Table) Expect(cond bool, format string, a ...any) {
+	if !cond {
+		t.Mismatches = append(t.Mismatches, fmt.Sprintf(format, a...))
+	}
 }
 
 // String renders the table with aligned columns.
@@ -60,6 +72,9 @@ func (t *Table) String() string {
 	}
 	if t.Notes != "" {
 		fmt.Fprintf(&b, "note: %s\n", t.Notes)
+	}
+	for _, m := range t.Mismatches {
+		fmt.Fprintf(&b, "MISMATCH: %s\n", m)
 	}
 	return b.String()
 }

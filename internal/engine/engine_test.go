@@ -1,0 +1,383 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/gen"
+	"xmlnorm/internal/implication"
+	"xmlnorm/internal/xfd"
+	"xmlnorm/internal/xmltree"
+)
+
+func chainEngine(t *testing.T, depth int, opts Options) *Engine {
+	t.Helper()
+	e, err := New(gen.ChainDTD(depth, 2), gen.ChainFDs(depth, 2), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// chainQuery builds the E6-style query at the given chain level.
+func chainQuery(depth int) xfd.FD {
+	level := gen.ChainPaths(depth)[depth]
+	return xfd.FD{
+		LHS: []dtd.Path{level.Child(fmt.Sprintf("@a%d_0", depth))},
+		RHS: []dtd.Path{level.Child(fmt.Sprintf("@a%d_1", depth))},
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	e := chainEngine(t, 6, Options{})
+	q := chainQuery(6)
+	first, err := e.Implies(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Implies(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Implied != second.Implied {
+		t.Errorf("cached answer flipped: %v then %v", first.Implied, second.Implied)
+	}
+	if s := e.Stats(); s.Misses != 1 || s.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 miss and 1 hit", s)
+	}
+}
+
+func TestNoCacheBypassesCounters(t *testing.T) {
+	e := chainEngine(t, 6, Options{NoCache: true})
+	q := chainQuery(6)
+	for i := 0; i < 3; i++ {
+		if _, err := e.Implies(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := e.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Errorf("stats = %+v, want all zero with NoCache", s)
+	}
+}
+
+// TestCanonicalization: the cache key treats the LHS as a set, so
+// reordered and duplicated left-hand sides share one slot.
+func TestCanonicalization(t *testing.T) {
+	e := chainEngine(t, 6, Options{})
+	q := chainQuery(6)
+	extra := gen.ChainPaths(6)[3].Child("@a3_0")
+	a := xfd.FD{LHS: []dtd.Path{q.LHS[0], extra}, RHS: q.RHS}
+	b := xfd.FD{LHS: []dtd.Path{extra, q.LHS[0], extra}, RHS: q.RHS}
+	if _, err := e.Implies(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Implies(b); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Stats(); s.Misses != 1 || s.Hits != 1 {
+		t.Errorf("stats = %+v, want the reordered query to hit", s)
+	}
+}
+
+// TestMultiRHSSplit: a two-RHS query caches its single-RHS splits
+// individually, and re-asking one split alone is a pure hit.
+func TestMultiRHSSplit(t *testing.T) {
+	e := chainEngine(t, 6, Options{})
+	level := gen.ChainPaths(6)[6]
+	q := xfd.FD{
+		LHS: []dtd.Path{level.Child("@a6_0")},
+		RHS: []dtd.Path{level.Child("@a6_1"), level},
+	}
+	if _, err := e.Implies(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Implies(xfd.FD{LHS: q.LHS, RHS: q.RHS[:1]}); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.Hits != 1 {
+		t.Errorf("stats = %+v, want the split query to hit the cache", s)
+	}
+}
+
+// TestIdentityWithImplication: cached and uncached engines agree with
+// the plain implication decider on a sweep of queries.
+func TestIdentityWithImplication(t *testing.T) {
+	d := gen.ChainDTD(5, 2)
+	sigma := gen.ChainFDs(5, 2)
+	paths, err := d.Paths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := New(d, sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err := New(d, sigma, Options{Workers: 1, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every (LHS, RHS) pair of DTD paths, asked twice against the cached
+	// engine to exercise both the miss and the hit path.
+	for _, lhs := range paths {
+		for _, rhs := range paths {
+			q := xfd.FD{LHS: []dtd.Path{lhs}, RHS: []dtd.Path{rhs}}
+			want, err := implication.Implies(d, sigma, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range []*Engine{cached, uncached, cached} {
+				got, err := e.Implies(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Implied != want.Implied {
+					t.Fatalf("%s: engine says %v, decider says %v", q, got.Implied, want.Implied)
+				}
+				if (got.Counterexample == nil) != (want.Counterexample == nil) {
+					t.Fatalf("%s: counterexample presence differs", q)
+				}
+				if got.Counterexample != nil && !xmltree.Isomorphic(got.Counterexample, want.Counterexample) {
+					t.Fatalf("%s: counterexample differs from the decider's", q)
+				}
+			}
+		}
+	}
+}
+
+func TestTrivialMatchesImplication(t *testing.T) {
+	d := gen.ChainDTD(4, 2)
+	e, err := New(d, gen.ChainFDs(4, 2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := d.Paths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lhs := range paths {
+		for _, rhs := range paths {
+			q := xfd.FD{LHS: []dtd.Path{lhs}, RHS: []dtd.Path{rhs}}
+			want, err := implication.Trivial(d, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.Trivial(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("Trivial(%s) = %v, want %v", q, got, want)
+			}
+		}
+	}
+	// Trivial answers must not pollute the Σ-closure key space: the same
+	// query asked via Implies may answer differently.
+	if s := e.Stats(); s.Misses == 0 {
+		t.Error("trivial queries never reached the cache")
+	}
+}
+
+// TestCounterexampleNotAliased: callers own their counterexample trees;
+// mutating one must not leak into later answers.
+func TestCounterexampleNotAliased(t *testing.T) {
+	e := chainEngine(t, 4, Options{})
+	// chain level 2's attribute does not determine level 4's: not implied.
+	lhs := gen.ChainPaths(4)[2].Child("@a2_0")
+	rhs := gen.ChainPaths(4)[4].Child("@a4_0")
+	q := xfd.FD{LHS: []dtd.Path{lhs}, RHS: []dtd.Path{rhs}}
+	first, err := e.Implies(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Implied || first.Counterexample == nil {
+		t.Fatalf("expected a counterexample, got %+v", first)
+	}
+	pristine := first.Counterexample.Clone()
+	first.Counterexample.Root.Children = nil // caller vandalizes its copy
+	second, err := e.Implies(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Counterexample == nil || !xmltree.Isomorphic(second.Counterexample, pristine) {
+		t.Error("cached counterexample absorbed a caller's mutation")
+	}
+	if second.Counterexample == first.Counterexample {
+		t.Error("two callers share one counterexample tree")
+	}
+}
+
+func TestBruteForceMatchesClosure(t *testing.T) {
+	d := gen.WideDTD(2, 2)
+	sigma := []xfd.FD{{
+		LHS: []dtd.Path{{"r", "c0", "@a0_0"}},
+		RHS: []dtd.Path{{"r", "c0", "@a0_1"}},
+	}}
+	e, err := New(d, sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := implication.Bounds{MaxValuePositions: 12, MaxTrees: 5000000}
+	for _, q := range []xfd.FD{
+		{LHS: []dtd.Path{{"r", "c0", "@a0_0"}}, RHS: []dtd.Path{{"r", "c0", "@a0_1"}}},
+		{LHS: []dtd.Path{{"r", "c0", "@a0_1"}}, RHS: []dtd.Path{{"r", "c0", "@a0_0"}}},
+	} {
+		fast, err := e.Implies(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := e.BruteForce(q, bounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast.Implied != slow.Implied {
+			t.Errorf("%s: closure %v, brute force %v", q, fast.Implied, slow.Implied)
+		}
+		// Second ask is a cache hit with the same answer.
+		again, err := e.BruteForce(q, bounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Implied != slow.Implied {
+			t.Errorf("%s: cached brute-force answer flipped", q)
+		}
+	}
+}
+
+// TestBruteForceErrorCached: a bounds-exceeded error is cached and
+// returned to every later caller of the same (query, bounds).
+func TestBruteForceErrorCached(t *testing.T) {
+	d := gen.WideDTD(2, 2)
+	e, err := New(d, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := xfd.FD{
+		LHS: []dtd.Path{{"r", "c0", "@a0_0"}},
+		RHS: []dtd.Path{{"r", "c0", "@a0_1"}},
+	}
+	tiny := implication.Bounds{MaxTrees: 1, MaxValuePositions: 12}
+	for i := 0; i < 2; i++ {
+		if _, err := e.BruteForce(q, tiny); !errors.Is(err, implication.ErrBoundsExceeded) {
+			t.Fatalf("ask %d: err = %v, want ErrBoundsExceeded", i+1, err)
+		}
+	}
+	if s := e.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want the error to be served from the cache", s)
+	}
+}
+
+func TestNewRejectsRecursiveDTD(t *testing.T) {
+	d, err := dtd.Parse("<!ELEMENT r (a*)>\n<!ELEMENT a (a*)>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(d, nil, Options{}); err == nil {
+		t.Error("recursive DTD accepted")
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	e := chainEngine(t, 4, Options{})
+	if e.Workers() < 1 {
+		t.Errorf("default Workers() = %d", e.Workers())
+	}
+	e = chainEngine(t, 4, Options{Workers: 3})
+	if e.Workers() != 3 {
+		t.Errorf("Workers() = %d, want 3", e.Workers())
+	}
+}
+
+func TestImpliesBatchOrder(t *testing.T) {
+	depth := 5
+	d := gen.ChainDTD(depth, 2)
+	sigma := gen.ChainFDs(depth, 2)
+	paths, err := d.Paths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qs []xfd.FD
+	for i, lhs := range paths {
+		qs = append(qs, xfd.FD{LHS: []dtd.Path{lhs}, RHS: []dtd.Path{paths[(i*7+3)%len(paths)]}})
+	}
+	var want []bool
+	for _, q := range qs {
+		ans, err := implication.Implies(d, sigma, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, ans.Implied)
+	}
+	for _, opts := range []Options{{Workers: 1}, {Workers: 4}, {Workers: 4, NoCache: true}} {
+		e, err := New(d, sigma, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.ImpliesBatch(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(qs) {
+			t.Fatalf("opts %+v: %d answers for %d queries", opts, len(got), len(qs))
+		}
+		for i := range got {
+			if got[i].Implied != want[i] {
+				t.Errorf("opts %+v, query %d: got %v, want %v", opts, i, got[i].Implied, want[i])
+			}
+		}
+	}
+}
+
+func TestForEach(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		const n = 37
+		visited := make([]int, n)
+		if err := forEach(workers, n, func(i int) error {
+			visited[i]++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range visited {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+	}
+	if err := forEach(4, 0, func(int) error { t.Error("fn called for n=0"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachSequentialStopsAtError(t *testing.T) {
+	boom := errors.New("boom")
+	last := -1
+	err := forEach(1, 10, func(i int) error {
+		last = i
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if last != 3 {
+		t.Errorf("sequential run continued past the error (last = %d)", last)
+	}
+}
+
+func TestForEachParallelPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	err := forEach(8, 100, func(i int) error {
+		if i == 42 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}

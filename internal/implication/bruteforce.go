@@ -2,8 +2,11 @@ package implication
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"xmlnorm/internal/dtd"
 	"xmlnorm/internal/regex"
@@ -54,6 +57,21 @@ var ErrBoundsExceeded = fmt.Errorf("implication: brute-force bounds exceeded")
 // practice, which is cross-validated against the closure algorithm in
 // the tests.
 func BruteForce(d *dtd.DTD, sigma []xfd.FD, q xfd.FD, bounds Bounds) (Answer, error) {
+	return BruteForceParallel(d, sigma, q, bounds, 1)
+}
+
+// BruteForceParallel is BruteForce with the per-shape value searches
+// fanned out across up to workers goroutines (0 means GOMAXPROCS; 1 is
+// the sequential path, byte-identical to the original loop). The shape
+// enumeration budget and the MaxTrees instance budget are shared
+// atomically across workers. Determinism: the counterexample returned
+// is the one from the lowest shape index, which is the shape the
+// sequential search would have stopped at, so answers agree with the
+// sequential path for every search that completes within bounds; when
+// the budget runs out mid-search a found counterexample is still
+// preferred over ErrBoundsExceeded (a counterexample is definitive,
+// a truncated clean pass is not).
+func BruteForceParallel(d *dtd.DTD, sigma []xfd.FD, q xfd.FD, bounds Bounds, workers int) (Answer, error) {
 	bounds = bounds.withDefaults()
 	for _, f := range append(append([]xfd.FD{}, sigma...), q) {
 		if err := f.Validate(d); err != nil {
@@ -68,16 +86,74 @@ func BruteForce(d *dtd.DTD, sigma []xfd.FD, q xfd.FD, bounds Bounds) (Answer, er
 	if err != nil {
 		return Answer{}, err
 	}
-	checked := 0
-	for _, shape := range shapes {
-		tree := &xmltree.Tree{Root: shape}
-		found, err := searchValues(tree, d, sigma, q, bounds, &checked)
-		if err != nil {
-			return Answer{}, err
+	var checked atomic.Int64
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(shapes) {
+		workers = len(shapes)
+	}
+	if workers <= 1 {
+		for _, shape := range shapes {
+			tree := &xmltree.Tree{Root: shape}
+			found, err := searchValues(tree, d, sigma, q, bounds, &checked)
+			if err != nil {
+				return Answer{}, err
+			}
+			if found != nil {
+				return Answer{Implied: false, Counterexample: found, Verified: true}, nil
+			}
 		}
-		if found != nil {
-			return Answer{Implied: false, Counterexample: found, Verified: true}, nil
-		}
+		return Answer{Implied: true}, nil
+	}
+	// Parallel: searchValues mutates the shape in place, and shapes from
+	// enumerateShapes share subtree nodes across sibling combinations, so
+	// each worker searches a private clone of its shape. minFound tracks
+	// the lowest shape index with a counterexample; indices beyond it are
+	// skipped, mirroring the sequential early exit.
+	found := make([]*xmltree.Tree, len(shapes))
+	var minFound atomic.Int64
+	minFound.Store(int64(len(shapes)))
+	var searchErr error
+	var errOnce sync.Once
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(shapes) {
+					return
+				}
+				if int64(i) >= minFound.Load() {
+					continue
+				}
+				tree := &xmltree.Tree{Root: shapes[i].Clone()}
+				f, err := searchValues(tree, d, sigma, q, bounds, &checked)
+				if err != nil {
+					errOnce.Do(func() { searchErr = err })
+					continue // a later shape may still hold a counterexample
+				}
+				if f != nil {
+					found[i] = f
+					for {
+						cur := minFound.Load()
+						if int64(i) >= cur || minFound.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if min := minFound.Load(); min < int64(len(shapes)) {
+		return Answer{Implied: false, Counterexample: found[min], Verified: true}, nil
+	}
+	if searchErr != nil {
+		return Answer{}, searchErr
 	}
 	return Answer{Implied: true}, nil
 }
@@ -262,8 +338,10 @@ type valueSlot struct {
 }
 
 // searchValues enumerates value-equality patterns over the shape's
-// string positions and tests each instance.
-func searchValues(tree *xmltree.Tree, d *dtd.DTD, sigma []xfd.FD, q xfd.FD, bounds Bounds, checked *int) (*xmltree.Tree, error) {
+// string positions and tests each instance. checked is the shared
+// MaxTrees budget, atomic so parallel shape searches draw from one
+// pool exactly like the sequential scan does.
+func searchValues(tree *xmltree.Tree, d *dtd.DTD, sigma []xfd.FD, q xfd.FD, bounds Bounds, checked *atomic.Int64) (*xmltree.Tree, error) {
 	groups := map[string][]valueSlot{}
 	var order []string
 	tree.Walk(func(n *xmltree.Node, path []string) bool {
@@ -303,8 +381,7 @@ func searchValues(tree *xmltree.Tree, d *dtd.DTD, sigma []xfd.FD, q xfd.FD, boun
 	var rec func(gi int) (*xmltree.Tree, error)
 	rec = func(gi int) (*xmltree.Tree, error) {
 		if gi == len(order) {
-			*checked++
-			if *checked > bounds.MaxTrees {
+			if checked.Add(1) > int64(bounds.MaxTrees) {
 				return nil, ErrBoundsExceeded
 			}
 			if err := xmltree.Conforms(tree, d); err != nil {

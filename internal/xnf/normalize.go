@@ -5,7 +5,7 @@ import (
 	"strings"
 
 	"xmlnorm/internal/dtd"
-	"xmlnorm/internal/implication"
+	"xmlnorm/internal/engine"
 	"xmlnorm/internal/xfd"
 )
 
@@ -56,6 +56,10 @@ type Options struct {
 	// Costs one extra XNF analysis per step; intended for tests and
 	// paranoid pipelines.
 	VerifySteps bool
+	// Engine configures the implication engine (worker count, caching)
+	// shared by the anomaly scan, minimization and move search of each
+	// iteration. The zero value uses GOMAXPROCS workers with caching on.
+	Engine engine.Options
 }
 
 // Normalize converts (D, Σ) into a specification in XNF by repeatedly
@@ -73,7 +77,17 @@ func Normalize(s Spec, opts Options) (Spec, []Step, error) {
 		if iter >= opts.MaxSteps {
 			return Spec{}, steps, fmt.Errorf("xnf: normalization did not converge in %d steps", opts.MaxSteps)
 		}
-		anomalies, err := Anomalies(cur)
+		if err := cur.Validate(); err != nil {
+			return Spec{}, steps, err
+		}
+		// One cached engine serves this whole iteration: the anomaly
+		// scan, every minimization probe, and the move search all query
+		// the same (D, Σ) and overlap heavily.
+		eng, err := engine.New(cur.DTD, cur.FDs, opts.Engine)
+		if err != nil {
+			return Spec{}, steps, err
+		}
+		anomalies, err := anomaliesWith(eng, cur.FDs)
 		if err != nil {
 			return Spec{}, steps, err
 		}
@@ -88,7 +102,7 @@ func Normalize(s Spec, opts Options) (Spec, []Step, error) {
 		copy(candidates, anomalies)
 		if !opts.Simplified {
 			for i := range candidates {
-				min, err := minimize(cur, candidates[i].FD)
+				min, err := minimize(eng, candidates[i].FD)
 				if err != nil {
 					return Spec{}, steps, err
 				}
@@ -99,7 +113,7 @@ func Normalize(s Spec, opts Options) (Spec, []Step, error) {
 		var res TransformResult
 		applied := false
 		if !opts.Simplified {
-			res, step, applied, err = tryMove(cur, candidates, opts.Names)
+			res, step, applied, err = tryMove(cur, eng, candidates, opts.Names)
 			if err != nil {
 				return Spec{}, steps, err
 			}
@@ -126,11 +140,11 @@ func Normalize(s Spec, opts Options) (Spec, []Step, error) {
 			if err := res.Spec.Validate(); err != nil {
 				return Spec{}, steps, fmt.Errorf("xnf: step %d produced an invalid spec: %v", iter+1, err)
 			}
-			before, err := AnomalousPaths(cur)
+			before, err := AnomalousPathsOpts(cur, opts.Engine)
 			if err != nil {
 				return Spec{}, steps, err
 			}
-			after, err := AnomalousPaths(res.Spec)
+			after, err := AnomalousPathsOpts(res.Spec, opts.Engine)
 			if err != nil {
 				return Spec{}, steps, err
 			}
@@ -147,11 +161,7 @@ func Normalize(s Spec, opts Options) (Spec, []Step, error) {
 // tryMove looks for an anomalous FD S → p.@l with an element path q ∈ S
 // such that q → S is implied, and applies the attribute move. Text
 // right-hand sides are left to the create-element transformation.
-func tryMove(s Spec, anomalies []Anomaly, names Names) (TransformResult, Step, bool, error) {
-	eng, err := implication.NewEngine(s.DTD, s.FDs)
-	if err != nil {
-		return TransformResult{}, Step{}, false, err
-	}
+func tryMove(s Spec, eng *engine.Engine, anomalies []Anomaly, names Names) (TransformResult, Step, bool, error) {
 	for _, a := range anomalies {
 		rhs := a.FD.RHS[0]
 		if !rhs.IsAttr() {
@@ -185,15 +195,12 @@ func tryMove(s Spec, anomalies []Anomaly, names Names) (TransformResult, Step, b
 
 // minimize refines an anomalous FD to a (D, Σ)-minimal one: while some
 // strictly smaller anomalous FD exists over the definition's candidate
-// paths, switch to it (Section 6).
-func minimize(s Spec, f xfd.FD) (xfd.FD, error) {
-	eng, err := implication.NewEngine(s.DTD, s.FDs)
-	if err != nil {
-		return xfd.FD{}, err
-	}
+// paths, switch to it (Section 6). The engine's cache pays off here:
+// different anomalies of one spec probe overlapping candidate subsets.
+func minimize(eng *engine.Engine, f xfd.FD) (xfd.FD, error) {
 	cur := f
 	for depth := 0; depth < 20; depth++ {
-		smaller, found, err := findSmallerAnomalous(s.DTD, eng, cur)
+		smaller, found, err := findSmallerAnomalous(eng, cur)
 		if err != nil {
 			return xfd.FD{}, err
 		}
@@ -208,7 +215,7 @@ func minimize(s Spec, f xfd.FD) (xfd.FD, error) {
 // findSmallerAnomalous searches the candidate space of the minimality
 // definition: subsets S' of {q, p1, ..., pn, p0.@l0, ..., pn.@ln} with
 // |S'| ≤ n and at most one element path, targeting any pᵢ.@lᵢ.
-func findSmallerAnomalous(d *dtd.DTD, eng *implication.Engine, f xfd.FD) (xfd.FD, bool, error) {
+func findSmallerAnomalous(eng *engine.Engine, f xfd.FD) (xfd.FD, bool, error) {
 	rhs := f.RHS[0]
 	var attrs []dtd.Path // p0.@l0 (the RHS), then the LHS attribute paths
 	attrs = append(attrs, rhs)
@@ -266,7 +273,7 @@ func findSmallerAnomalous(d *dtd.DTD, eng *implication.Engine, f xfd.FD) (xfd.FD
 			if !ans.Implied {
 				continue
 			}
-			trivial, err := implication.Trivial(d, cand)
+			trivial, err := eng.Trivial(cand)
 			if err != nil {
 				return xfd.FD{}, false, err
 			}

@@ -11,7 +11,7 @@ import (
 	"fmt"
 
 	"xmlnorm/internal/dtd"
-	"xmlnorm/internal/implication"
+	"xmlnorm/internal/engine"
 	"xmlnorm/internal/xfd"
 	"xmlnorm/internal/xmltree"
 )
@@ -62,7 +62,13 @@ type Anomaly struct {
 // DTD must be non-recursive and disjunctive, as required by the
 // implication engine.
 func Check(s Spec) (bool, []Anomaly, error) {
-	anomalies, err := Anomalies(s)
+	return CheckOpts(s, engine.Options{})
+}
+
+// CheckOpts is Check with explicit engine options (worker count,
+// caching) for the underlying implication engine.
+func CheckOpts(s Spec, eo engine.Options) (bool, []Anomaly, error) {
+	anomalies, err := AnomaliesOpts(s, eo)
 	if err != nil {
 		return false, nil, err
 	}
@@ -71,46 +77,66 @@ func Check(s Spec) (bool, []Anomaly, error) {
 
 // Anomalies lists the anomalous FDs among (the single-RHS splits of) Σ.
 func Anomalies(s Spec) ([]Anomaly, error) {
+	return AnomaliesOpts(s, engine.Options{})
+}
+
+// AnomaliesOpts is Anomalies with explicit engine options.
+func AnomaliesOpts(s Spec, eo engine.Options) ([]Anomaly, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	eng, err := implication.NewEngine(s.DTD, s.FDs)
+	eng, err := engine.New(s.DTD, s.FDs, eo)
 	if err != nil {
 		return nil, err
 	}
-	// A second engine over (D, ∅) decides triviality without rebuilding
-	// the skeleton for every FD.
-	trivEng, err := implication.NewEngine(s.DTD, nil)
+	return anomaliesWith(eng, s.FDs)
+}
+
+// anomaliesWith scans the single-RHS splits of fds for anomalies across
+// the engine's worker pool. Results keep the sequential order: each
+// goroutine writes only its own index, and the fan-out engine answers
+// identically to the sequential path.
+func anomaliesWith(eng *engine.Engine, fds []xfd.FD) ([]Anomaly, error) {
+	var singles []xfd.FD
+	for _, f := range fds {
+		singles = append(singles, f.SingleRHS()...)
+	}
+	found := make([]*Anomaly, len(singles))
+	err := eng.ForEach(len(singles), func(i int) error {
+		a, ok, err := anomalous(eng, singles[i])
+		if err != nil {
+			return err
+		}
+		if ok {
+			found[i] = &a
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	var anomalies []Anomaly
-	for _, f := range s.FDs {
-		for _, single := range f.SingleRHS() {
-			a, ok, err := anomalous(eng, trivEng, single)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				anomalies = append(anomalies, a)
-			}
+	for _, a := range found {
+		if a != nil {
+			anomalies = append(anomalies, *a)
 		}
 	}
 	return anomalies, nil
 }
 
-// anomalous decides whether a single-RHS FD is anomalous over (D, Σ),
-// using the (D, Σ) engine and a (D, ∅) engine for triviality.
-func anomalous(eng, trivEng *implication.Engine, single xfd.FD) (Anomaly, bool, error) {
+// anomalous decides whether a single-RHS FD is anomalous over (D, Σ);
+// the engine answers both the (D, Σ) query and the triviality query
+// (D, ∅) from its cache.
+func anomalous(eng *engine.Engine, single xfd.FD) (Anomaly, bool, error) {
 	rhs := single.RHS[0]
 	if rhs.IsElem() {
 		return Anomaly{}, false, nil // XNF constrains only attribute/text RHS
 	}
-	trivial, err := trivEng.Implies(single)
+	trivial, err := eng.Trivial(single)
 	if err != nil {
 		return Anomaly{}, false, err
 	}
-	if trivial.Implied {
+	if trivial {
 		return Anomaly{}, false, nil
 	}
 	target := rhs.Parent()
@@ -128,7 +154,12 @@ func anomalous(eng, trivEng *implication.Engine, single xfd.FD) (Anomaly, bool, 
 // to right-hand sides of Σ (sufficient for relational DTDs by
 // Proposition 10), as dotted strings.
 func AnomalousPaths(s Spec) (map[string]bool, error) {
-	anomalies, err := Anomalies(s)
+	return AnomalousPathsOpts(s, engine.Options{})
+}
+
+// AnomalousPathsOpts is AnomalousPaths with explicit engine options.
+func AnomalousPathsOpts(s Spec, eo engine.Options) (map[string]bool, error) {
+	anomalies, err := AnomaliesOpts(s, eo)
 	if err != nil {
 		return nil, err
 	}

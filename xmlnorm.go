@@ -34,6 +34,7 @@ import (
 	"strings"
 
 	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/engine"
 	"xmlnorm/internal/implication"
 	"xmlnorm/internal/xfd"
 	"xmlnorm/internal/xmltree"
@@ -61,6 +62,15 @@ type (
 	NormalizeOptions = xnf.Options
 	// ImplicationAnswer is the result of an implication test.
 	ImplicationAnswer = implication.Answer
+	// Engine is a concurrency-safe, memoizing implication engine over
+	// one specification; see NewEngine.
+	Engine = engine.Engine
+	// EngineOptions configures workers and caching for an Engine and
+	// for the Opts variants of the spec-level operations. The zero
+	// value means GOMAXPROCS workers with caching on.
+	EngineOptions = engine.Options
+	// EngineStats reports an engine's cache hit/miss counters.
+	EngineStats = engine.Stats
 	// RedundancyReport quantifies update-anomaly-causing redundancy.
 	RedundancyReport = xnf.RedundancyReport
 	// Preservation reports which original FDs survive a normalization.
@@ -114,6 +124,19 @@ func ParseDocument(text string) (*Tree, error) {
 // anomalous FDs.
 func CheckXNF(s Spec) (bool, []Anomaly, error) { return xnf.Check(s) }
 
+// CheckXNFOpts is CheckXNF with explicit engine options.
+func CheckXNFOpts(s Spec, eo EngineOptions) (bool, []Anomaly, error) {
+	return xnf.CheckOpts(s, eo)
+}
+
+// NewEngine builds a reusable implication engine for the
+// specification: answers are memoized per canonicalized query and
+// batch operations fan out across the configured workers. All engine
+// methods are safe for concurrent use.
+func NewEngine(s Spec, eo EngineOptions) (*Engine, error) {
+	return engine.New(s.DTD, s.FDs, eo)
+}
+
 // Normalize converts the specification into one in XNF, returning the
 // applied steps; each step carries the document transformation needed
 // to migrate documents (see TransformDocument).
@@ -144,6 +167,17 @@ func MinimalCover(s Spec) ([]FD, error) { return xnf.MinimalCover(s) }
 // Implies decides (D, Σ) ⊢ q.
 func Implies(s Spec, q FD) (ImplicationAnswer, error) {
 	return implication.Implies(s.DTD, s.FDs, q)
+}
+
+// ImpliesOpts decides (D, Σ) ⊢ q through a fresh engine with the given
+// options; for one-shot queries it matches Implies, while callers with
+// many queries should keep an Engine from NewEngine instead.
+func ImpliesOpts(s Spec, q FD, eo EngineOptions) (ImplicationAnswer, error) {
+	eng, err := engine.New(s.DTD, s.FDs, eo)
+	if err != nil {
+		return ImplicationAnswer{}, err
+	}
+	return eng.Implies(q)
 }
 
 // Trivial decides whether q follows from the DTD alone.

@@ -149,3 +149,42 @@ func TestClassifyDTD(t *testing.T) {
 		}
 	}
 }
+
+// FuzzParseSpec fuzzes the spec parser, seeded with every spec file in
+// testdata. The parser must never panic; any input it accepts must
+// survive a FormatSpec/ParseSpec round trip with the same root and FD
+// count (accepted specs are always validated, so downstream code may
+// rely on their invariants).
+func FuzzParseSpec(f *testing.F) {
+	seeds, err := filepath.Glob(filepath.Join("testdata", "*.spec"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(seeds) == 0 {
+		f.Fatal("no testdata/*.spec seeds")
+	}
+	for _, name := range seeds {
+		b, err := os.ReadFile(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(b))
+	}
+	f.Add("garbage")
+	f.Add("<!ELEMENT r EMPTY>\n%%\n")
+	f.Add("<!ELEMENT r (a*)>\n<!ELEMENT a EMPTY>\n<!ATTLIST a x CDATA #REQUIRED>\n%%\nr.a.@x -> r.a\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseSpec(text)
+		if err != nil {
+			return
+		}
+		again, err := ParseSpec(FormatSpec(s))
+		if err != nil {
+			t.Fatalf("accepted spec failed to re-parse: %v\ninput: %q", err, text)
+		}
+		if again.DTD.Root() != s.DTD.Root() || len(again.FDs) != len(s.FDs) {
+			t.Fatalf("round trip changed the spec: root %q/%d FDs -> %q/%d FDs",
+				s.DTD.Root(), len(s.FDs), again.DTD.Root(), len(again.FDs))
+		}
+	})
+}
