@@ -17,6 +17,7 @@ import (
 	"xmlnorm/internal/implication"
 	"xmlnorm/internal/nested"
 	"xmlnorm/internal/paperdata"
+	"xmlnorm/internal/paths"
 	"xmlnorm/internal/relational"
 	"xmlnorm/internal/tuples"
 	"xmlnorm/internal/xfd"
@@ -56,10 +57,15 @@ func BenchmarkE2_NormalizeDBLP(b *testing.B) {
 // document (Figure 2 / Section 3).
 func BenchmarkE3_TupleExtraction(b *testing.B) {
 	doc := gen.University(10, 10, 100, 10, rand.New(rand.NewSource(7)))
+	s := mustSpec(b, bench.CoursesSpec)
+	u, err := paths.New(s.DTD)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	var n int
 	for i := 0; i < b.N; i++ {
-		ts, err := tuples.TuplesOf(doc, 0)
+		ts, err := tuples.TuplesOf(u, doc, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -325,6 +331,20 @@ func BenchmarkFDSatisfaction(b *testing.B) {
 func BenchmarkE15_DesignStudies(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.E15DesignStudies(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE17_PathInterning: the full legacy-vs-interned sweep (tuple
+// extraction, the brute-force inner Σ check, closure cache keying). CI
+// runs this with -count=3 and archives the cmd/experiments JSON of the
+// same sweep as the BENCH_paths.json artifact. The table's correctness
+// and speedup gates are checked by the `cmd/experiments E17` CI step;
+// here only hard errors fail, so timing noise can't flake the bench job.
+func BenchmarkE17_PathInterning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E17PathInterning(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,15 +7,19 @@
 //
 //	experiments [-parallel N] [-cache=BOOL]            run everything
 //	experiments [-parallel N] [-cache=BOOL] E6 E9      run selected experiments
+//	experiments -json out.json E17                     also write the tables as JSON
 //
 // -parallel sets the implication-engine worker count (0 = GOMAXPROCS)
 // and -cache toggles its closure cache; both feed the engine-backed
-// experiments E6–E9 and E16. The process exits nonzero when any table
-// reports a MISMATCH between the paper's claim and the measured
+// experiments E6–E9 and E16. -json additionally writes the result
+// tables to a file as a JSON array (CI uploads the E17 sweep this way
+// as the BENCH_paths.json artifact). The process exits nonzero when any
+// table reports a MISMATCH between the paper's claim and the measured
 // outcome, so CI can gate on the suite.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +41,7 @@ func run(args []string) (int, error) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	parallel := fs.Int("parallel", 0, "engine worker count (0 = GOMAXPROCS)")
 	cache := fs.Bool("cache", true, "enable the engine's implication cache")
+	jsonOut := fs.String("json", "", "also write the result tables to this file as JSON")
 	if err := fs.Parse(args); err != nil {
 		return 1, err
 	}
@@ -44,6 +49,15 @@ func run(args []string) (int, error) {
 	tables, err := bench.Run(fs.Args(), opts)
 	if err != nil {
 		return 1, err
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			return 1, err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return 1, err
+		}
 	}
 	mismatches := 0
 	for _, t := range tables {

@@ -39,6 +39,7 @@ import (
 
 	"xmlnorm"
 	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/paths"
 	"xmlnorm/internal/tuples"
 	"xmlnorm/internal/xfd"
 )
@@ -256,17 +257,21 @@ func cmdTuples(args []string) error {
 	if err := xmlnorm.ConformsUnordered(doc, s.DTD); err != nil {
 		return err
 	}
-	ts, err := tuples.TuplesOf(doc, 0)
+	u, err := paths.New(s.DTD)
+	if err != nil {
+		return err
+	}
+	ts, err := tuples.TuplesOf(u, doc, 0)
 	if err != nil {
 		return err
 	}
 	// Print as a table over the non-recursive DTD's paths.
-	paths, err := s.DTD.Paths()
+	ps, err := s.DTD.Paths()
 	if err != nil {
 		return err
 	}
 	var cols []string
-	for _, p := range paths {
+	for _, p := range ps {
 		cols = append(cols, p.String())
 	}
 	sort.Strings(cols)

@@ -13,6 +13,7 @@ import (
 	"xmlnorm/internal/implication"
 	"xmlnorm/internal/nested"
 	"xmlnorm/internal/paperdata"
+	"xmlnorm/internal/paths"
 	"xmlnorm/internal/relational"
 	"xmlnorm/internal/tuples"
 	"xmlnorm/internal/xfd"
@@ -217,16 +218,20 @@ func E3Tuples() (*Table, error) {
 	for _, size := range []struct{ c, s int }{{2, 2}, {10, 10}, {40, 25}} {
 		rng := rand.New(rand.NewSource(7))
 		doc := gen.University(size.c, size.s, size.c*size.s, 10, rng)
-		var ts []tuples.Tuple
-		d, err := timeIt(func() error {
-			var err error
-			ts, err = tuples.TuplesOf(doc, 0)
-			return err
-		})
+		spec, err := CoursesSpec()
 		if err != nil {
 			return nil, err
 		}
-		spec, err := CoursesSpec()
+		u, err := paths.New(spec.DTD)
+		if err != nil {
+			return nil, err
+		}
+		var ts []tuples.Tuple
+		d, err := timeIt(func() error {
+			var err error
+			ts, err = tuples.TuplesOf(u, doc, 0)
+			return err
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -1000,6 +1005,7 @@ var registry = []struct {
 	{"E14", func(Options) (*Table, error) { return E14Redundancy() }},
 	{"E15", func(Options) (*Table, error) { return E15DesignStudies() }},
 	{"E16", E16EngineAblation},
+	{"E17", func(Options) (*Table, error) { return E17PathInterning() }},
 }
 
 // Run executes the selected experiments in suite order with the given

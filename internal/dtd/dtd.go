@@ -14,7 +14,6 @@ package dtd
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"xmlnorm/internal/regex"
@@ -301,14 +300,19 @@ func sameStringSet(a, b []string) bool {
 	if len(a) != len(b) {
 		return false
 	}
-	as := append([]string(nil), a...)
-	bs := append([]string(nil), b...)
-	sort.Strings(as)
-	sort.Strings(bs)
-	for i := range as {
-		if as[i] != bs[i] {
+	// Single map pass: count a's elements up, b's down. Attribute lists
+	// have no duplicates, but counting keeps this correct as a multiset
+	// comparison either way.
+	counts := make(map[string]int, len(a))
+	for _, s := range a {
+		counts[s]++
+	}
+	for _, s := range b {
+		c := counts[s]
+		if c == 0 {
 			return false
 		}
+		counts[s] = c - 1
 	}
 	return true
 }

@@ -27,6 +27,7 @@ import (
 
 	"xmlnorm/internal/dtd"
 	"xmlnorm/internal/implication"
+	"xmlnorm/internal/paths"
 	"xmlnorm/internal/xfd"
 )
 
@@ -104,6 +105,10 @@ func New(d *dtd.DTD, sigma []xfd.FD, opts Options) (*Engine, error) {
 
 // DTD returns the engine's DTD.
 func (e *Engine) DTD() *dtd.DTD { return e.d }
+
+// Universe returns the interned path universe of the engine's DTD,
+// shared with the underlying closure engine.
+func (e *Engine) Universe() *paths.Universe { return e.imp.Universe() }
 
 // Sigma returns the engine's FD set (not a copy; treat as read-only).
 func (e *Engine) Sigma() []xfd.FD { return e.sigma }
@@ -184,7 +189,7 @@ func (e *Engine) single(space string, q xfd.FD, compute func() (implication.Answ
 	if e.opts.NoCache {
 		return compute()
 	}
-	key := space + canonicalQuery(q)
+	key := space + e.queryKey(q)
 	e.mu.Lock()
 	ent, ok := e.results[key]
 	if !ok {
@@ -241,9 +246,25 @@ func (e *Engine) ForEach(n int, fn func(i int) error) error {
 	return forEach(e.opts.workers(), n, fn)
 }
 
-// canonicalQuery renders a single-RHS query as its canonical cache key:
-// the LHS as a sorted, deduplicated path set (FD semantics is
-// set-based, see xfd.FD.Equal), then the RHS path.
+// queryKey canonicalizes a single-RHS query into its cache key. The
+// fast path renders the query's interned bitset sides (xfd.FD.AppendKey
+// against the closure engine's path universe): bitsets are sets, so
+// LHS deduplication and order-independence come for free and the key is
+// a few machine words instead of the concatenated path strings. Queries
+// mentioning paths outside the universe can never be answered, but they
+// are keyed anyway (by the sorted string rendering, under a distinct
+// leading byte) so their errors are memoized like any other answer.
+func (e *Engine) queryKey(q xfd.FD) string {
+	if key, ok := q.AppendKey(e.imp.Universe(), nil); ok {
+		return "\x01" + string(key)
+	}
+	return "\x02" + canonicalQuery(q)
+}
+
+// canonicalQuery renders a single-RHS query as its canonical string
+// cache key: the LHS as a sorted, deduplicated path set (FD semantics
+// is set-based, see xfd.FD.Equal), then the RHS path. It is the slow
+// fallback of queryKey for queries that do not resolve in the universe.
 func canonicalQuery(q xfd.FD) string {
 	lhs := make([]string, 0, len(q.LHS))
 	seen := map[string]bool{}

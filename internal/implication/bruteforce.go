@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/paths"
 	"xmlnorm/internal/regex"
 	"xmlnorm/internal/xfd"
 	"xmlnorm/internal/xmltree"
@@ -81,6 +82,23 @@ func BruteForceParallel(d *dtd.DTD, sigma []xfd.FD, q xfd.FD, bounds Bounds, wor
 	if d.IsRecursive() {
 		return Answer{}, fmt.Errorf("implication: brute force requires a non-recursive DTD")
 	}
+	// Compile every FD check once against the DTD's interned universe;
+	// the per-instance loop below runs them thousands of times per shape.
+	// Checkers are read-only and shared across the worker goroutines.
+	u, err := paths.New(d)
+	if err != nil {
+		return Answer{}, fmt.Errorf("implication: %v", err)
+	}
+	sigmaChecks := make([]*xfd.Checker, len(sigma))
+	for i, f := range sigma {
+		if sigmaChecks[i], err = xfd.NewChecker(u, f); err != nil {
+			return Answer{}, err
+		}
+	}
+	qCheck, err := xfd.NewChecker(u, q)
+	if err != nil {
+		return Answer{}, err
+	}
 	budget := bounds.MaxTrees
 	shapes, err := enumerateShapes(d, d.Root(), bounds, map[string][]*xmltree.Node{}, &budget)
 	if err != nil {
@@ -96,7 +114,7 @@ func BruteForceParallel(d *dtd.DTD, sigma []xfd.FD, q xfd.FD, bounds Bounds, wor
 	if workers <= 1 {
 		for _, shape := range shapes {
 			tree := &xmltree.Tree{Root: shape}
-			found, err := searchValues(tree, d, sigma, q, bounds, &checked)
+			found, err := searchValues(tree, d, sigmaChecks, qCheck, bounds, &checked)
 			if err != nil {
 				return Answer{}, err
 			}
@@ -131,7 +149,7 @@ func BruteForceParallel(d *dtd.DTD, sigma []xfd.FD, q xfd.FD, bounds Bounds, wor
 					continue
 				}
 				tree := &xmltree.Tree{Root: shapes[i].Clone()}
-				f, err := searchValues(tree, d, sigma, q, bounds, &checked)
+				f, err := searchValues(tree, d, sigmaChecks, qCheck, bounds, &checked)
 				if err != nil {
 					errOnce.Do(func() { searchErr = err })
 					continue // a later shape may still hold a counterexample
@@ -340,8 +358,10 @@ type valueSlot struct {
 // searchValues enumerates value-equality patterns over the shape's
 // string positions and tests each instance. checked is the shared
 // MaxTrees budget, atomic so parallel shape searches draw from one
-// pool exactly like the sequential scan does.
-func searchValues(tree *xmltree.Tree, d *dtd.DTD, sigma []xfd.FD, q xfd.FD, bounds Bounds, checked *atomic.Int64) (*xmltree.Tree, error) {
+// pool exactly like the sequential scan does. The FD checks arrive
+// precompiled (projection plans and resolved path IDs) and are shared
+// read-only across workers.
+func searchValues(tree *xmltree.Tree, d *dtd.DTD, sigmaChecks []*xfd.Checker, qCheck *xfd.Checker, bounds Bounds, checked *atomic.Int64) (*xmltree.Tree, error) {
 	groups := map[string][]valueSlot{}
 	var order []string
 	tree.Walk(func(n *xmltree.Node, path []string) bool {
@@ -387,7 +407,14 @@ func searchValues(tree *xmltree.Tree, d *dtd.DTD, sigma []xfd.FD, q xfd.FD, boun
 			if err := xmltree.Conforms(tree, d); err != nil {
 				return nil, nil // shape bug; skip defensively
 			}
-			if xfd.SatisfiesAll(tree, sigma) && !xfd.Satisfies(tree, q) {
+			ok := true
+			for _, c := range sigmaChecks {
+				if !c.Satisfies(tree) {
+					ok = false
+					break
+				}
+			}
+			if ok && !qCheck.Satisfies(tree) {
 				return tree.Clone(), nil
 			}
 			return nil, nil

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/paths"
 	"xmlnorm/internal/xfd"
 	"xmlnorm/internal/xmltree"
 )
@@ -67,11 +68,19 @@ type Engine struct {
 }
 
 // NewEngine builds an engine. The DTD must be non-recursive and
-// disjunctive.
+// disjunctive. Σ is copied and each FD resolved against the DTD's
+// interned path universe, so downstream consumers (the answer cache,
+// XNF search) can reuse the bitset sides.
 func NewEngine(d *dtd.DTD, sigma []xfd.FD) (*Engine, error) {
 	sk, err := buildSkeleton(d)
 	if err != nil {
 		return nil, err
+	}
+	sigma = append([]xfd.FD(nil), sigma...)
+	for i := range sigma {
+		if err := sigma[i].Resolve(sk.u); err != nil {
+			return nil, fmt.Errorf("implication: %v", err)
+		}
 	}
 	compiled, err := compileFDs(sk, sigma)
 	if err != nil {
@@ -90,6 +99,9 @@ func NewEngine(d *dtd.DTD, sigma []xfd.FD) (*Engine, error) {
 	}
 	return &Engine{sk: sk, sigma: sigma, compiled: compiled, asgs: enumerateAssignments(sk)}, nil
 }
+
+// Universe returns the interned path universe of the engine's DTD.
+func (e *Engine) Universe() *paths.Universe { return e.sk.u }
 
 // Implies decides (D, Σ) ⊢ q.
 func (e *Engine) Implies(q xfd.FD) (Answer, error) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/paths"
 	"xmlnorm/internal/regex"
 	"xmlnorm/internal/xfd"
 )
@@ -63,12 +64,11 @@ func buildSkeletonBounded(d *dtd.DTD, maxDepth int) (*skeleton, error) {
 	if !ok {
 		return nil, fmt.Errorf("implication: DTD is not disjunctive; use BruteForce")
 	}
-	sk := &skeleton{d: d, byPath: map[string]int{}}
+	sk := &skeleton{d: d}
 	var add func(path dtd.Path, parent int, mult regex.Mult, group int) int
 	add = func(path dtd.Path, parent int, mult regex.Mult, group int) int {
 		n := &pnode{id: len(sk.nodes), path: path, parent: parent, mult: mult, group: group}
 		sk.nodes = append(sk.nodes, n)
-		sk.byPath[path.String()] = n.id
 		if parent >= 0 {
 			sk.nodes[parent].kids = append(sk.nodes[parent].kids, n.id)
 		}
@@ -76,14 +76,12 @@ func buildSkeletonBounded(d *dtd.DTD, maxDepth int) (*skeleton, error) {
 		for _, a := range elem.Attrs {
 			c := &pnode{id: len(sk.nodes), path: path.Child("@" + a), kind: attrPath, parent: n.id, group: -1}
 			sk.nodes = append(sk.nodes, c)
-			sk.byPath[c.path.String()] = c.id
 			n.kids = append(n.kids, c.id)
 		}
 		switch elem.Kind {
 		case dtd.TextContent:
 			c := &pnode{id: len(sk.nodes), path: path.Child(dtd.TextStep), kind: textPath, parent: n.id, group: -1}
 			sk.nodes = append(sk.nodes, c)
-			sk.byPath[c.path.String()] = c.id
 			n.kids = append(n.kids, c.id)
 		case dtd.ModelContent:
 			if len(path) >= maxDepth {
@@ -107,5 +105,21 @@ func buildSkeletonBounded(d *dtd.DTD, maxDepth int) (*skeleton, error) {
 		return n.id
 	}
 	add(dtd.Path{d.Root()}, -1, regex.One, -1)
+	// The full universe of a recursive DTD is infinite, so intern exactly
+	// the bounded unfolding. DFS order lists every prefix before its
+	// extensions, so ForQuery interns one ID per skeleton node.
+	ps := make([]dtd.Path, len(sk.nodes))
+	for i, n := range sk.nodes {
+		ps[i] = n.path
+	}
+	sk.u = paths.ForQuery(ps)
+	if sk.u.Size() != len(sk.nodes) {
+		return nil, fmt.Errorf("implication: bounded skeleton has %d paths but universe has %d", len(sk.nodes), sk.u.Size())
+	}
+	sk.ofUID = make([]int, sk.u.Size())
+	for _, n := range sk.nodes {
+		n.uid = sk.u.MustLookup(n.path)
+		sk.ofUID[n.uid] = n.id
+	}
 	return sk, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/paths"
 	"xmlnorm/internal/regex"
 )
 
@@ -21,6 +22,7 @@ const (
 // dense integer id.
 type pnode struct {
 	id     int
+	uid    paths.ID // the path's ID in the DTD's interned universe
 	path   dtd.Path
 	kind   pathKind
 	parent int        // id of the parent path; -1 for the root
@@ -40,12 +42,16 @@ type pgroup struct {
 }
 
 // skeleton is the unfolding of a non-recursive disjunctive DTD into its
-// path tree, with per-letter multiplicities and disjunction groups.
+// path tree, with per-letter multiplicities and disjunction groups. It
+// carries the DTD's interned path universe: skeleton node ids are
+// DFS-ordered while universe IDs are BFS-ordered, so ofUID bridges the
+// two numberings.
 type skeleton struct {
 	d      *dtd.DTD
+	u      *paths.Universe
 	nodes  []*pnode
 	groups []*pgroup
-	byPath map[string]int
+	ofUID  []int // universe ID -> skeleton node id
 }
 
 // buildSkeleton unfolds the DTD. It fails if the DTD is recursive or not
@@ -58,59 +64,82 @@ func buildSkeleton(d *dtd.DTD) (*skeleton, error) {
 	if !ok {
 		return nil, fmt.Errorf("implication: DTD is not disjunctive; use BruteForce")
 	}
-	sk := &skeleton{d: d, byPath: map[string]int{}}
-	var add func(path dtd.Path, parent int, mult regex.Mult, group int) int
-	add = func(path dtd.Path, parent int, mult regex.Mult, group int) int {
-		n := &pnode{id: len(sk.nodes), path: path, parent: parent, mult: mult, group: group}
+	u, err := paths.New(d)
+	if err != nil {
+		return nil, fmt.Errorf("implication: %v", err)
+	}
+	sk := &skeleton{d: d, u: u, ofUID: make([]int, u.Size())}
+	// uidOf navigates the universe alongside the skeleton unfolding; both
+	// enumerate exactly paths(D), so a miss is an internal inconsistency.
+	uidOf := func(parent paths.ID, step string) paths.ID {
+		uid, ok := u.Child(parent, step)
+		if !ok {
+			panic(fmt.Sprintf("implication: skeleton path %s.%s missing from universe", u.StringOf(parent), step))
+		}
+		return uid
+	}
+	var add func(uid paths.ID, path dtd.Path, parent int, mult regex.Mult, group int) int
+	add = func(uid paths.ID, path dtd.Path, parent int, mult regex.Mult, group int) int {
+		n := &pnode{id: len(sk.nodes), uid: uid, path: path, parent: parent, mult: mult, group: group}
 		sk.nodes = append(sk.nodes, n)
-		sk.byPath[path.String()] = n.id
+		sk.ofUID[uid] = n.id
 		if parent >= 0 {
 			sk.nodes[parent].kids = append(sk.nodes[parent].kids, n.id)
 		}
 		elem := d.Element(path.Last())
 		// Attributes.
 		for _, a := range elem.Attrs {
-			c := &pnode{id: len(sk.nodes), path: path.Child("@" + a), kind: attrPath, parent: n.id, group: -1}
+			c := &pnode{id: len(sk.nodes), uid: uidOf(uid, "@"+a), path: path.Child("@" + a), kind: attrPath, parent: n.id, group: -1}
 			sk.nodes = append(sk.nodes, c)
-			sk.byPath[c.path.String()] = c.id
+			sk.ofUID[c.uid] = c.id
 			n.kids = append(n.kids, c.id)
 		}
 		switch elem.Kind {
 		case dtd.TextContent:
-			c := &pnode{id: len(sk.nodes), path: path.Child(dtd.TextStep), kind: textPath, parent: n.id, group: -1}
+			c := &pnode{id: len(sk.nodes), uid: uidOf(uid, dtd.TextStep), path: path.Child(dtd.TextStep), kind: textPath, parent: n.id, group: -1}
 			sk.nodes = append(sk.nodes, c)
-			sk.byPath[c.path.String()] = c.id
+			sk.ofUID[c.uid] = c.id
 			n.kids = append(n.kids, c.id)
 		case dtd.ModelContent:
 			for _, f := range factors[path.Last()] {
 				if !f.IsDisjunction() {
 					for _, letter := range f.Alphabet() {
-						add(path.Child(letter), n.id, f.Units[letter], -1)
+						add(uidOf(uid, letter), path.Child(letter), n.id, f.Units[letter], -1)
 					}
 					continue
 				}
 				g := &pgroup{id: len(sk.groups), parent: n.id, nullable: f.Disj.Nullable}
 				sk.groups = append(sk.groups, g)
 				for _, letter := range f.Disj.Letters {
-					cid := add(path.Child(letter), n.id, regex.OptM, g.id)
+					cid := add(uidOf(uid, letter), path.Child(letter), n.id, regex.OptM, g.id)
 					g.members = append(g.members, cid)
 				}
 			}
 		}
 		return n.id
 	}
-	add(dtd.Path{d.Root()}, -1, regex.One, -1)
+	rootUID, ok := u.LookupString(d.Root())
+	if !ok {
+		return nil, fmt.Errorf("implication: root %q missing from universe", d.Root())
+	}
+	add(rootUID, dtd.Path{d.Root()}, -1, regex.One, -1)
+	if len(sk.nodes) != u.Size() {
+		return nil, fmt.Errorf("implication: skeleton has %d paths but universe has %d", len(sk.nodes), u.Size())
+	}
 	return sk, nil
 }
 
 // node returns the pnode for a path, or nil.
 func (sk *skeleton) node(p dtd.Path) *pnode {
-	id, ok := sk.byPath[p.String()]
+	uid, ok := sk.u.Lookup(p)
 	if !ok {
 		return nil
 	}
-	return sk.nodes[id]
+	return sk.nodes[sk.ofUID[uid]]
 }
+
+// nodeByUID returns the pnode for an interned path ID.
+func (sk *skeleton) nodeByUID(uid paths.ID) *pnode { return sk.nodes[sk.ofUID[uid]] }
 
 // isPrefix reports whether node a's path is a (non-strict) prefix of
 // node b's path.

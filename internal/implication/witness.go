@@ -12,44 +12,44 @@ import (
 // non-null exactly on the derived nn sets, share vertices and string
 // values exactly on the derived eq set, and differ everywhere else. The
 // glued tree trees_D({t1, t2}) is the candidate counterexample; the
-// caller re-verifies it semantically.
+// caller re-verifies it semantically. The tuples are built directly on
+// the skeleton's interned universe via the per-node path IDs.
 func realize(s *state) (*xmltree.Tree, error) {
 	n := len(s.sk.nodes)
 	// Shared values for eq paths, per-tuple values otherwise.
 	sharedNode := make([]xmltree.NodeID, n)
-	t1 := tuples.Tuple{}
-	t2 := tuples.Tuple{}
+	t1 := tuples.NewTuple(s.sk.u)
+	t2 := tuples.NewTuple(s.sk.u)
 	valueCounter := 0
 	fresh := func() string {
 		valueCounter++
 		return fmt.Sprintf("v%d", valueCounter)
 	}
 	for id, pn := range s.sk.nodes {
-		key := pn.path.String()
 		switch {
 		case s.nn1[id] && s.nn2[id] && s.eq[id]:
 			if pn.kind == elemPath {
 				sharedNode[id] = xmltree.FreshID()
-				t1[key] = tuples.NodeValue(sharedNode[id])
-				t2[key] = tuples.NodeValue(sharedNode[id])
+				t1.SetID(pn.uid, tuples.NodeValue(sharedNode[id]))
+				t2.SetID(pn.uid, tuples.NodeValue(sharedNode[id]))
 			} else {
 				v := fresh()
-				t1[key] = tuples.StringValue(v)
-				t2[key] = tuples.StringValue(v)
+				t1.SetID(pn.uid, tuples.StringValue(v))
+				t2.SetID(pn.uid, tuples.StringValue(v))
 			}
 		default:
 			if s.nn1[id] {
 				if pn.kind == elemPath {
-					t1[key] = tuples.NodeValue(xmltree.FreshID())
+					t1.SetID(pn.uid, tuples.NodeValue(xmltree.FreshID()))
 				} else {
-					t1[key] = tuples.StringValue(fresh())
+					t1.SetID(pn.uid, tuples.StringValue(fresh()))
 				}
 			}
 			if s.nn2[id] {
 				if pn.kind == elemPath {
-					t2[key] = tuples.NodeValue(xmltree.FreshID())
+					t2.SetID(pn.uid, tuples.NodeValue(xmltree.FreshID()))
 				} else {
-					t2[key] = tuples.StringValue(fresh())
+					t2.SetID(pn.uid, tuples.StringValue(fresh()))
 				}
 			}
 		}

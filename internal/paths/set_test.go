@@ -1,0 +1,157 @@
+package paths
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(200)
+	ids := []ID{0, 1, 63, 64, 65, 127, 128, 199}
+	for _, id := range ids {
+		s.Add(id)
+	}
+	for _, id := range ids {
+		if !s.Has(id) {
+			t.Errorf("Has(%d) = false after Add", id)
+		}
+	}
+	if s.Has(2) || s.Has(66) || s.Has(198) {
+		t.Error("Has reports absent IDs")
+	}
+	if s.Count() != len(ids) {
+		t.Errorf("Count = %d, want %d", s.Count(), len(ids))
+	}
+	s.Remove(64)
+	if s.Has(64) || s.Count() != len(ids)-1 {
+		t.Error("Remove(64) failed")
+	}
+	if s.Empty() {
+		t.Error("Empty on a non-empty set")
+	}
+	if !NewSet(100).Empty() {
+		t.Error("fresh set not Empty")
+	}
+}
+
+func TestSetGrowsOnAdd(t *testing.T) {
+	var s Set // zero value
+	s.Add(130)
+	if !s.Has(130) || s.Count() != 1 {
+		t.Fatalf("zero-value Add(130): %v", s)
+	}
+	if len(s) != 3 {
+		t.Fatalf("want 3 words, got %d", len(s))
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := NewSet(130)
+	b := NewSet(130)
+	for _, id := range []ID{1, 70, 129} {
+		a.Add(id)
+	}
+	for _, id := range []ID{70, 129} {
+		b.Add(id)
+	}
+	if !b.SubsetOf(a) {
+		t.Error("b ⊆ a expected")
+	}
+	if a.SubsetOf(b) {
+		t.Error("a ⊆ b unexpected")
+	}
+	u := a.Clone()
+	u.Or(b)
+	if !u.Equal(a) {
+		t.Error("a ∪ b should equal a")
+	}
+	i := a.Clone()
+	i.And(b)
+	if !i.Equal(b) {
+		t.Error("a ∩ b should equal b")
+	}
+	d := a.Clone()
+	d.AndNot(b)
+	if d.Count() != 1 || !d.Has(1) {
+		t.Errorf("a \\ b = %v, want {1}", d.IDs())
+	}
+}
+
+// Mixed-length operands: a short set against a long one must behave as
+// if the short set's high words were zero.
+func TestSetMixedLengths(t *testing.T) {
+	var short Set
+	short.Add(3) // 1 word
+	long := NewSet(200)
+	long.Add(3)
+	long.Add(150)
+	if !short.SubsetOf(long) {
+		t.Error("short ⊆ long expected")
+	}
+	if long.SubsetOf(short) {
+		t.Error("long ⊆ short unexpected")
+	}
+	if short.Equal(long) || long.Equal(short) {
+		t.Error("Equal across lengths with different members")
+	}
+	onlyThree := NewSet(200)
+	onlyThree.Add(3)
+	if !short.Equal(onlyThree) || !onlyThree.Equal(short) {
+		t.Error("Equal must ignore trailing zero words")
+	}
+	grown := short.Clone()
+	grown.Or(long)
+	if !grown.Equal(long) {
+		t.Error("Or must grow the receiver")
+	}
+}
+
+func TestAppendWordsCanonical(t *testing.T) {
+	a := NewSet(64)
+	a.Add(5)
+	b := NewSet(500)
+	b.Add(5)
+	ka := a.AppendWords(nil)
+	kb := b.AppendWords(nil)
+	if !bytes.Equal(ka, kb) {
+		t.Errorf("AppendWords differs across allocation sizes: %x vs %x", ka, kb)
+	}
+	b.Add(400)
+	kb = b.AppendWords(nil)
+	if bytes.Equal(ka, kb) {
+		t.Error("AppendWords identical for different sets")
+	}
+}
+
+func TestSetRandomizedAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		s := NewSet(n)
+		ref := map[ID]bool{}
+		for op := 0; op < 100; op++ {
+			id := ID(rng.Intn(n))
+			if rng.Intn(3) == 0 {
+				s.Remove(id)
+				delete(ref, id)
+			} else {
+				s.Add(id)
+				ref[id] = true
+			}
+		}
+		if s.Count() != len(ref) {
+			t.Fatalf("trial %d: Count = %d, want %d", trial, s.Count(), len(ref))
+		}
+		s.ForEach(func(id ID) {
+			if !ref[id] {
+				t.Fatalf("trial %d: ForEach yielded %d not in reference", trial, id)
+			}
+		})
+		for id := range ref {
+			if !s.Has(id) {
+				t.Fatalf("trial %d: Has(%d) = false", trial, id)
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/paths"
 	"xmlnorm/internal/tuples"
 	"xmlnorm/internal/xmltree"
 )
@@ -11,17 +12,28 @@ import (
 // FromTree builds the Codd table of tuples_D(T) over the given paths
 // (columns): one row per maximal tuple projection, with ⊥ for null
 // entries. Element-path columns hold vertex identifiers rendered as
-// "#id"; attribute and text columns hold string values.
-func FromTree(t *xmltree.Tree, paths []dtd.Path) *Relation {
-	cols := make([]string, len(paths))
-	for i, p := range paths {
+// "#id"; attribute and text columns hold string values. The columns are
+// interned once into a query-local universe; each row is then filled by
+// integer lookups.
+func FromTree(t *xmltree.Tree, ps []dtd.Path) *Relation {
+	cols := make([]string, len(ps))
+	for i, p := range ps {
 		cols[i] = p.String()
 	}
 	out := New(cols...)
-	for _, tup := range tuples.Projections(t, paths) {
-		row := make([]Val, len(paths))
-		for i, p := range paths {
-			v, ok := tup.Get(p)
+	u := paths.ForQuery(ps)
+	pr, err := tuples.NewProjector(u, ps)
+	if err != nil {
+		return dedup(out) // no columns: the empty relation
+	}
+	ids := make([]paths.ID, len(ps))
+	for i, p := range ps {
+		ids[i] = u.MustLookup(p)
+	}
+	for _, tup := range pr.Of(t) {
+		row := make([]Val, len(ps))
+		for i, id := range ids {
+			v, ok := tup.GetID(id)
 			switch {
 			case !ok:
 				row[i] = Null

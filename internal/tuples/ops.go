@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/paths"
 	"xmlnorm/internal/xmltree"
 )
 
@@ -60,54 +61,116 @@ func childGroups(n *xmltree.Node) [][]*xmltree.Node {
 	return out
 }
 
+// UniverseForTree interns every path occurring in the tree, in document
+// order, for callers extracting tuples without a DTD at hand (the
+// maximal tuples of T are determined by T alone). The result is a query
+// universe: no multiplicity metadata.
+func UniverseForTree(t *xmltree.Tree) *paths.Universe {
+	var ps []dtd.Path
+	var walk func(n *xmltree.Node, prefix dtd.Path)
+	walk = func(n *xmltree.Node, prefix dtd.Path) {
+		p := prefix.Child(n.Label)
+		ps = append(ps, p)
+		attrs := make([]string, 0, len(n.Attrs))
+		for a := range n.Attrs {
+			attrs = append(attrs, a)
+		}
+		sort.Strings(attrs) // Attrs is a map; keep ID assignment deterministic
+		for _, a := range attrs {
+			ps = append(ps, p.Child("@"+a))
+		}
+		if n.HasText {
+			ps = append(ps, p.Child(dtd.TextStep))
+		}
+		for _, c := range n.Children {
+			walk(c, p)
+		}
+	}
+	walk(t.Root, nil)
+	return paths.ForQuery(ps)
+}
+
 // TuplesOf computes tuples_D(T) (Definition 6): the maximal tree tuples
-// of the tree. The DTD is not needed to extract them — for any T ◁ D the
-// maximal tuples are determined by T alone (each tuple picks one child
-// per label at every node it contains) — but the result is only
-// meaningful when T is compatible with the DTD at hand.
+// of the tree, indexed by the given path universe (built from the DTD
+// the tree conforms to). Each tuple picks one child per label at every
+// node it contains. Tree paths outside the universe are an error — the
+// tree is then not compatible with the universe's DTD.
 //
 // cap bounds the number of tuples (≤ 0 means MaxTuples); exceeding it is
 // an error, so callers never silently truncate.
-func TuplesOf(t *xmltree.Tree, cap int) ([]Tuple, error) {
+func TuplesOf(u *paths.Universe, t *xmltree.Tree, cap int) ([]Tuple, error) {
 	if cap <= 0 {
 		cap = MaxTuples
 	}
 	if n := CountTuples(t, cap); n >= cap {
 		return nil, fmt.Errorf("tuples: tree has ≥ %d maximal tuples (cap %d)", n, cap)
 	}
-	var enum func(n *xmltree.Node, path string) []Tuple
-	enum = func(n *xmltree.Node, path string) []Tuple {
-		base := Tuple{path: NodeValue(n.ID)}
+	rootID, ok := u.LookupString(t.Root.Label)
+	if !ok {
+		return nil, fmt.Errorf("tuples: root %q is not in the path universe", t.Root.Label)
+	}
+	var enum func(n *xmltree.Node, id paths.ID) ([]Tuple, error)
+	enum = func(n *xmltree.Node, id paths.ID) ([]Tuple, error) {
+		base := NewTuple(u)
+		base.SetID(id, NodeValue(n.ID))
 		for a, v := range n.Attrs {
-			base[path+".@"+a] = StringValue(v)
+			aid, ok := u.Child(id, "@"+a)
+			if !ok {
+				return nil, fmt.Errorf("tuples: %s.@%s is not in the path universe", u.StringOf(id), a)
+			}
+			base.SetID(aid, StringValue(v))
 		}
 		if n.HasText {
-			base[path+"."+dtd.TextStep] = StringValue(n.Text)
+			tid, ok := u.Child(id, dtd.TextStep)
+			if !ok {
+				return nil, fmt.Errorf("tuples: %s.%s is not in the path universe", u.StringOf(id), dtd.TextStep)
+			}
+			base.SetID(tid, StringValue(n.Text))
 		}
 		acc := []Tuple{base}
 		for _, group := range childGroups(n) {
-			childPath := path + "." + group[0].Label
+			cid, ok := u.Child(id, group[0].Label)
+			if !ok {
+				return nil, fmt.Errorf("tuples: %s.%s is not in the path universe", u.StringOf(id), group[0].Label)
+			}
 			var alts []Tuple
 			for _, c := range group {
-				alts = append(alts, enum(c, childPath)...)
+				sub, err := enum(c, cid)
+				if err != nil {
+					return nil, err
+				}
+				alts = append(alts, sub...)
 			}
 			// Cross product: extend every accumulated tuple with every
-			// alternative for this label.
-			next := make([]Tuple, 0, len(acc)*len(alts))
+			// alternative for this label. The bitsets and value slices of
+			// the whole product are carved out of two slab allocations —
+			// the capacities are clamped, so a later grow can never bleed
+			// into a neighbouring tuple.
+			size, words := u.Size(), len(base.set)
+			total := len(acc) * len(alts)
+			valsArena := make([]Value, total*size)
+			setArena := make([]uint64, total*words)
+			next := make([]Tuple, 0, total)
+			k := 0
 			for _, t := range acc {
 				for _, a := range alts {
-					merged := t.Clone()
-					for k, v := range a {
-						merged[k] = v
+					vals := valsArena[k*size : (k+1)*size : (k+1)*size]
+					set := paths.Set(setArena[k*words : (k+1)*words : (k+1)*words])
+					copy(vals, t.vals)
+					copy(set, t.set)
+					a.set.ForEach(func(id paths.ID) { vals[id] = a.vals[id] })
+					for i := range a.set {
+						set[i] |= a.set[i]
 					}
-					next = append(next, merged)
+					next = append(next, Tuple{u: u, set: set, vals: vals})
+					k++
 				}
 			}
 			acc = next
 		}
-		return acc
+		return acc, nil
 	}
-	return enum(t.Root, t.Root.Label), nil
+	return enum(t.Root, rootID)
 }
 
 // TreeOf computes tree_D(t) (Definition 5): the XML tree induced by the
@@ -123,43 +186,43 @@ func TreeOf(d *dtd.DTD, t Tuple) (*xmltree.Tree, error) {
 
 // buildTree assembles the tree for the (already validated) tuple.
 func buildTree(root string, t Tuple) (*xmltree.Tree, error) {
-	// Group entries by parent element path.
-	nodes := map[string]*xmltree.Node{} // element path -> node
-	var paths []string
-	for k, v := range t {
-		if v.IsNode() {
-			p := dtd.MustParsePath(k)
-			nodes[k] = &xmltree.Node{ID: v.Node(), Label: p.Last()}
+	u := t.Universe()
+	nodes := make(map[paths.ID]*xmltree.Node, t.Len()) // element path ID -> node
+	t.set.ForEach(func(id paths.ID) {
+		if v := t.vals[id]; v.IsNode() {
+			nodes[id] = &xmltree.Node{ID: v.Node(), Label: u.PathOf(id).Last()}
 		}
-		paths = append(paths, k)
-	}
-	sort.Strings(paths) // lexicographic order gives the paper's child order
-	for _, k := range paths {
-		v := t[k]
-		p := dtd.MustParsePath(k)
-		parent := p.Parent()
-		if parent == nil {
+	})
+	// The universe's lexicographic order gives the paper's child order,
+	// replacing the historical sort of the dotted key strings.
+	for _, id := range u.LexOrder() {
+		if !t.set.Has(id) {
 			continue
 		}
-		pn := nodes[parent.String()]
-		if pn == nil {
-			return nil, fmt.Errorf("tuples: path %q has no parent node", k)
+		info := u.Info(id)
+		if info.Parent == paths.None {
+			continue
 		}
+		pn := nodes[info.Parent]
+		if pn == nil {
+			return nil, fmt.Errorf("tuples: path %q has no parent node", info.Str)
+		}
+		v := t.vals[id]
 		switch {
 		case v.IsNode():
-			pn.Children = append(pn.Children, nodes[k])
-		case p.IsAttr():
-			pn.SetAttr(p.Last()[1:], v.Str())
+			pn.Children = append(pn.Children, nodes[id])
+		case info.Kind == paths.AttrKind:
+			pn.SetAttr(info.Path.Last()[1:], v.Str())
 		default: // text step
 			pn.Text = v.Str()
 			pn.HasText = true
 		}
 	}
-	rootNode := nodes[root]
-	if rootNode == nil {
+	rootID, ok := u.LookupString(root)
+	if !ok || nodes[rootID] == nil {
 		return nil, fmt.Errorf("tuples: tuple has no root vertex")
 	}
-	return xmltree.NewTree(rootNode), nil
+	return xmltree.NewTree(nodes[rootID]), nil
 }
 
 // TreesOf computes a representative of trees_D(X) (Definition 7): the
@@ -184,61 +247,78 @@ func TreesOf(d *dtd.DTD, X []Tuple) (*xmltree.Tree, error) {
 		if err := t.Validate(d); err != nil {
 			return nil, fmt.Errorf("tuples: X[%d]: %v", i, err)
 		}
+		u := t.Universe()
 		// First pass: vertices.
-		for k, v := range t {
-			if !v.IsNode() {
-				continue
+		var firstErr error
+		t.set.ForEach(func(id paths.ID) {
+			v := t.vals[id]
+			if !v.IsNode() || firstErr != nil {
+				return
 			}
-			p := dtd.MustParsePath(k)
+			pinfo := u.Info(id)
 			info := infos[v.Node()]
 			if info == nil {
-				info = &nodeInfo{node: &xmltree.Node{ID: v.Node(), Label: p.Last()}, path: k}
+				info = &nodeInfo{node: &xmltree.Node{ID: v.Node(), Label: pinfo.Path.Last()}, path: pinfo.Str}
 				infos[v.Node()] = info
-			} else if info.path != k {
-				return nil, fmt.Errorf("tuples: vertex #%d occurs at %q and %q", v.Node(), info.path, k)
+			} else if info.path != pinfo.Str {
+				firstErr = fmt.Errorf("tuples: vertex #%d occurs at %q and %q", v.Node(), info.path, pinfo.Str)
+				return
 			}
-			if p.Parent() == nil {
+			if pinfo.Parent == paths.None {
 				if haveRoot && rootID != v.Node() {
-					return nil, fmt.Errorf("tuples: two distinct roots #%d and #%d", rootID, v.Node())
+					firstErr = fmt.Errorf("tuples: two distinct roots #%d and #%d", rootID, v.Node())
+					return
 				}
 				rootID, haveRoot = v.Node(), true
 			}
+		})
+		if firstErr != nil {
+			return nil, firstErr
 		}
 		// Second pass: attributes, text, and parent edges.
-		for k, v := range t {
-			p := dtd.MustParsePath(k)
-			parent := p.Parent()
-			if parent == nil {
-				continue
+		t.set.ForEach(func(id paths.ID) {
+			if firstErr != nil {
+				return
 			}
-			parentVal, ok := t[parent.String()]
+			pathInfo := u.Info(id)
+			if pathInfo.Parent == paths.None {
+				return
+			}
+			parentVal, ok := t.GetID(pathInfo.Parent)
 			if !ok || !parentVal.IsNode() {
-				return nil, fmt.Errorf("tuples: %q without parent vertex", k)
+				firstErr = fmt.Errorf("tuples: %q without parent vertex", pathInfo.Str)
+				return
 			}
 			pinfo := infos[parentVal.Node()]
+			v := t.vals[id]
 			switch {
 			case v.IsNode():
 				info := infos[v.Node()]
 				if info.parent == 0 {
 					info.parent = parentVal.Node()
 				} else if info.parent != parentVal.Node() {
-					return nil, fmt.Errorf("tuples: vertex #%d has two parents", v.Node())
+					firstErr = fmt.Errorf("tuples: vertex #%d has two parents", v.Node())
 				}
-			case p.IsAttr():
-				name := p.Last()[1:]
+			case pathInfo.Kind == paths.AttrKind:
+				name := pathInfo.Path.Last()[1:]
 				if prev, ok := pinfo.node.Attr(name); ok && prev != v.Str() {
-					return nil, fmt.Errorf("tuples: vertex #%d attribute %s has values %q and %q",
+					firstErr = fmt.Errorf("tuples: vertex #%d attribute %s has values %q and %q",
 						parentVal.Node(), name, prev, v.Str())
+					return
 				}
 				pinfo.node.SetAttr(name, v.Str())
 			default:
 				if pinfo.node.HasText && pinfo.node.Text != v.Str() {
-					return nil, fmt.Errorf("tuples: vertex #%d has texts %q and %q",
+					firstErr = fmt.Errorf("tuples: vertex #%d has texts %q and %q",
 						parentVal.Node(), pinfo.node.Text, v.Str())
+					return
 				}
 				pinfo.node.Text = v.Str()
 				pinfo.node.HasText = true
 			}
+		})
+		if firstErr != nil {
+			return nil, firstErr
 		}
 	}
 	if !haveRoot {
@@ -267,42 +347,73 @@ func TreesOf(d *dtd.DTD, X []Tuple) (*xmltree.Tree, error) {
 	return xmltree.NewTree(infos[rootID].node), nil
 }
 
-// relevant is the prefix-closed tree of a set of query paths, used to
-// enumerate projections without materializing full tuples.
+// attrReq is one requested attribute under a relevant node.
+type attrReq struct {
+	name string
+	id   paths.ID
+}
+
+// relevant is the prefix-closed tree of a set of query paths, with the
+// interned ID of each requested path embedded, used to enumerate
+// projections without materializing full tuples.
 type relevant struct {
-	wanted   bool // the path itself is requested
-	attrs    []string
-	wantText bool
+	wanted   paths.ID // the element path itself, or None if not requested
+	attrs    []attrReq
+	textID   paths.ID // the text path, or None if not requested
 	kids     map[string]*relevant
 	kidOrder []string
 }
 
-func buildRelevant(paths []dtd.Path) *relevant {
-	root := &relevant{kids: map[string]*relevant{}}
-	for _, p := range paths {
-		cur := root
+func newRelevant() *relevant {
+	return &relevant{wanted: paths.None, textID: paths.None, kids: map[string]*relevant{}}
+}
+
+// Projector is a compiled projection plan: the relevant tree of a fixed
+// path list with every requested path resolved to its universe ID once.
+// Build it once per query and reuse it across trees — this is the hot
+// entry point for FD checking.
+type Projector struct {
+	u     *paths.Universe
+	rel   *relevant
+	first []string // first step of each query path, checked against each tree's root
+}
+
+// NewProjector compiles a projection plan over the universe. Every path
+// must be interned in the universe and non-empty.
+func NewProjector(u *paths.Universe, ps []dtd.Path) (*Projector, error) {
+	pr := &Projector{u: u, rel: newRelevant(), first: make([]string, 0, len(ps))}
+	for _, p := range ps {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("tuples: empty query path")
+		}
+		id, ok := u.Lookup(p)
+		if !ok {
+			return nil, fmt.Errorf("tuples: query path %q not in the universe", p)
+		}
+		pr.first = append(pr.first, p[0])
+		cur := pr.rel
 		for i := 1; i < len(p); i++ {
 			step := p[i]
 			if i == len(p)-1 && strings0(step) == '@' {
-				cur.attrs = append(cur.attrs, step[1:])
+				cur.attrs = append(cur.attrs, attrReq{name: step[1:], id: id})
 				goto next
 			}
 			if i == len(p)-1 && step == dtd.TextStep {
-				cur.wantText = true
+				cur.textID = id
 				goto next
 			}
 			k := cur.kids[step]
 			if k == nil {
-				k = &relevant{kids: map[string]*relevant{}}
+				k = newRelevant()
 				cur.kids[step] = k
 				cur.kidOrder = append(cur.kidOrder, step)
 			}
 			cur = k
 		}
-		cur.wanted = true
+		cur.wanted = id
 	next:
 	}
-	return root
+	return pr, nil
 }
 
 func strings0(s string) byte {
@@ -312,37 +423,32 @@ func strings0(s string) byte {
 	return s[0]
 }
 
-// Projections enumerates the restrictions of the maximal tuples of the
-// tree to the given paths, without duplicates. All paths must start at
-// the root label. This is how FD satisfaction is checked without
-// materializing the full (possibly exponential) tuple set: branches of
-// the tree not mentioned by any path cannot affect the projection.
-func Projections(t *xmltree.Tree, paths []dtd.Path) []Tuple {
-	for _, p := range paths {
-		if len(p) == 0 || p[0] != t.Root.Label {
+// Universe returns the universe the projector resolves against.
+func (pr *Projector) Universe() *paths.Universe { return pr.u }
+
+// Of enumerates the restrictions of the maximal tuples of the tree to
+// the projector's paths, without duplicates. It returns nil when some
+// query path does not start at the tree's root label (such a path can
+// never be non-null in the tree).
+func (pr *Projector) Of(t *xmltree.Tree) []Tuple {
+	for _, f := range pr.first {
+		if f != t.Root.Label {
 			return nil
 		}
 	}
-	rel := buildRelevant(paths)
-	// Does the root itself appear as a requested path?
-	for _, p := range paths {
-		if len(p) == 1 {
-			rel.wanted = true
-		}
-	}
-	var enum func(n *xmltree.Node, path string, r *relevant) []Tuple
-	enum = func(n *xmltree.Node, path string, r *relevant) []Tuple {
-		base := Tuple{}
-		if r.wanted {
-			base[path] = NodeValue(n.ID)
+	var enum func(n *xmltree.Node, r *relevant) []Tuple
+	enum = func(n *xmltree.Node, r *relevant) []Tuple {
+		base := NewTuple(pr.u)
+		if r.wanted != paths.None {
+			base.SetID(r.wanted, NodeValue(n.ID))
 		}
 		for _, a := range r.attrs {
-			if v, ok := n.Attr(a); ok {
-				base[path+".@"+a] = StringValue(v)
+			if v, ok := n.Attr(a.name); ok {
+				base.SetID(a.id, StringValue(v))
 			}
 		}
-		if r.wantText && n.HasText {
-			base[path+"."+dtd.TextStep] = StringValue(n.Text)
+		if r.textID != paths.None && n.HasText {
+			base.SetID(r.textID, StringValue(n.Text))
 		}
 		acc := []Tuple{base}
 		for _, label := range r.kidOrder {
@@ -353,15 +459,13 @@ func Projections(t *xmltree.Tree, paths []dtd.Path) []Tuple {
 			}
 			var alts []Tuple
 			for _, c := range kids {
-				alts = append(alts, enum(c, path+"."+label, kr)...)
+				alts = append(alts, enum(c, kr)...)
 			}
 			next := make([]Tuple, 0, len(acc)*len(alts))
 			for _, t := range acc {
 				for _, a := range alts {
 					merged := t.Clone()
-					for k, v := range a {
-						merged[k] = v
-					}
+					merged.merge(a)
 					next = append(next, merged)
 				}
 			}
@@ -369,16 +473,43 @@ func Projections(t *xmltree.Tree, paths []dtd.Path) []Tuple {
 		}
 		return dedup(acc)
 	}
-	return enum(t.Root, t.Root.Label, rel)
+	return enum(t.Root, pr.rel)
 }
 
+// Projections enumerates the restrictions of the maximal tuples of the
+// tree to the given paths, without duplicates. All paths must start at
+// the root label. This is how FD satisfaction is checked without
+// materializing the full (possibly exponential) tuple set: branches of
+// the tree not mentioned by any path cannot affect the projection.
+//
+// The resulting tuples are indexed by a query-local universe (the
+// prefix closure of the paths); callers that hold a DTD universe should
+// compile a Projector against it instead and reuse it across trees.
+func Projections(t *xmltree.Tree, ps []dtd.Path) []Tuple {
+	for _, p := range ps {
+		if len(p) == 0 || p[0] != t.Root.Label {
+			return nil
+		}
+	}
+	u := paths.ForQuery(ps)
+	pr, err := NewProjector(u, ps)
+	if err != nil {
+		return nil
+	}
+	return pr.Of(t)
+}
+
+// dedup removes duplicate tuples, keeping first occurrences, using the
+// binary tuple key (ID set + values) instead of the rendered Canonical
+// string.
 func dedup(ts []Tuple) []Tuple {
 	seen := map[string]bool{}
 	out := ts[:0]
+	var buf []byte
 	for _, t := range ts {
-		c := t.Canonical()
-		if !seen[c] {
-			seen[c] = true
+		buf = t.appendKey(buf[:0])
+		if !seen[string(buf)] {
+			seen[string(buf)] = true
 			out = append(out, t)
 		}
 	}

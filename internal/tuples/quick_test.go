@@ -7,6 +7,7 @@ import (
 
 	"xmlnorm/internal/dtd"
 	"xmlnorm/internal/gen"
+	"xmlnorm/internal/paths"
 	"xmlnorm/internal/tuples"
 	"xmlnorm/internal/xmltree"
 )
@@ -28,6 +29,16 @@ func quickDTDs() []*dtd.DTD {
 	}
 }
 
+// mustUniverse interns paths(D), panicking on recursive DTDs (the pool
+// is non-recursive by construction).
+func mustUniverse(d *dtd.DTD) *paths.Universe {
+	u, err := paths.New(d)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
 // TestQuickTheorem1 property-tests trees_D(tuples_D(T)) ≡ T over random
 // conforming documents of random DTDs.
 func TestQuickTheorem1(t *testing.T) {
@@ -39,7 +50,7 @@ func TestQuickTheorem1(t *testing.T) {
 			t.Log(err)
 			return false
 		}
-		ts, err := tuples.TuplesOf(doc, 1<<16)
+		ts, err := tuples.TuplesOf(mustUniverse(d), doc, 1<<16)
 		if err != nil {
 			return true // over cap: property not applicable
 		}
@@ -68,7 +79,7 @@ func TestQuickTuplesValid(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		ts, err := tuples.TuplesOf(doc, 1<<16)
+		ts, err := tuples.TuplesOf(mustUniverse(d), doc, 1<<16)
 		if err != nil {
 			return true
 		}
@@ -107,8 +118,9 @@ func TestQuickMonotonicity(t *testing.T) {
 		if !xmltree.Subsumed(pruned, doc) {
 			return false
 		}
-		t1, err1 := tuples.TuplesOf(pruned, 1<<16)
-		t2, err2 := tuples.TuplesOf(doc, 1<<16)
+		u := mustUniverse(d)
+		t1, err1 := tuples.TuplesOf(u, pruned, 1<<16)
+		t2, err2 := tuples.TuplesOf(u, doc, 1<<16)
 		if err1 != nil || err2 != nil {
 			return true
 		}
@@ -142,7 +154,7 @@ func TestQuickProjectionAgreement(t *testing.T) {
 		if len(paths) == 0 {
 			return true
 		}
-		full, err := tuples.TuplesOf(doc, 1<<16)
+		full, err := tuples.TuplesOf(mustUniverse(d), doc, 1<<16)
 		if err != nil {
 			return true
 		}
@@ -173,16 +185,26 @@ func TestQuickProjectionAgreement(t *testing.T) {
 // TestQuickOrderingLaws: ⊑ is a partial order on tuples and LE/Equal
 // agree.
 func TestQuickOrderingLaws(t *testing.T) {
+	u := paths.ForQuery([]dtd.Path{
+		dtd.MustParsePath("r"),
+		dtd.MustParsePath("r.@a"),
+		dtd.MustParsePath("r.@b"),
+		dtd.MustParsePath("r.c"),
+	})
+	set := func(tup tuples.Tuple, p string, v tuples.Value) {
+		tup.SetID(u.MustLookup(dtd.MustParsePath(p)), v)
+	}
 	mk := func(bits uint8) tuples.Tuple {
-		tup := tuples.Tuple{"r": tuples.NodeValue(1)}
+		tup := tuples.NewTuple(u)
+		set(tup, "r", tuples.NodeValue(1))
 		if bits&1 != 0 {
-			tup["r.@a"] = tuples.StringValue("x")
+			set(tup, "r.@a", tuples.StringValue("x"))
 		}
 		if bits&2 != 0 {
-			tup["r.@b"] = tuples.StringValue("y")
+			set(tup, "r.@b", tuples.StringValue("y"))
 		}
 		if bits&4 != 0 {
-			tup["r.c"] = tuples.NodeValue(2)
+			set(tup, "r.c", tuples.NodeValue(2))
 		}
 		return tup
 	}

@@ -4,19 +4,22 @@
 //
 // A tree tuple assigns to each path of a DTD a vertex (for element
 // paths) or a string (for attribute and text paths), or the null ⊥.
-// Tuples are represented as maps from dotted paths to values; a path
-// absent from the map has value ⊥. The paper's conditions (vertices
-// occur at a single path; ⊥ propagates downward; finitely many non-null
-// values) hold by construction for every tuple produced here and are
-// checkable with Validate.
+// Tuples are represented against an interned path universe
+// (internal/paths): a bitset records which path IDs are non-null and a
+// dense slice holds their values. Dotted path strings appear only at
+// parse/print boundaries. The paper's conditions (vertices occur at a
+// single path; ⊥ propagates downward; finitely many non-null values)
+// hold by construction for every tuple produced here and are checkable
+// with Validate.
 package tuples
 
 import (
+	"encoding/binary"
 	"fmt"
-	"sort"
 	"strings"
 
 	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/paths"
 	"xmlnorm/internal/xmltree"
 )
 
@@ -54,65 +57,130 @@ func (v Value) String() string {
 	return fmt.Sprintf("%q", v.str)
 }
 
-// Tuple is a tree tuple: a map from dotted paths to values, with absent
-// keys meaning ⊥.
-type Tuple map[string]Value
+// Tuple is a tree tuple over an interned path universe: set records the
+// non-null path IDs, vals holds their values densely indexed by ID.
+// Build one with NewTuple; the zero value is unusable.
+type Tuple struct {
+	u    *paths.Universe
+	set  paths.Set
+	vals []Value
+}
 
-// Get returns the value at the path and whether it is non-null.
+// NewTuple returns an all-⊥ tuple over the universe.
+func NewTuple(u *paths.Universe) Tuple {
+	return Tuple{u: u, set: u.NewSet(), vals: make([]Value, u.Size())}
+}
+
+// Universe returns the path universe the tuple is indexed by.
+func (t Tuple) Universe() *paths.Universe { return t.u }
+
+// Set returns the bitset of non-null path IDs. The set is shared with
+// the tuple; do not mutate it.
+func (t Tuple) Set() paths.Set { return t.set }
+
+// Len returns the number of non-null paths.
+func (t Tuple) Len() int { return t.set.Count() }
+
+// GetID returns the value at an interned path ID and whether it is
+// non-null.
+func (t Tuple) GetID(id paths.ID) (Value, bool) {
+	if !t.set.Has(id) {
+		return Value{}, false
+	}
+	return t.vals[id], true
+}
+
+// SetID assigns a value at an interned path ID.
+func (t Tuple) SetID(id paths.ID, v Value) {
+	t.set.Add(id)
+	t.vals[id] = v
+}
+
+// ClearID sets the path back to ⊥.
+func (t Tuple) ClearID(id paths.ID) { t.set.Remove(id) }
+
+// Get returns the value at the path and whether it is non-null. Paths
+// outside the universe are ⊥ by definition.
 func (t Tuple) Get(p dtd.Path) (Value, bool) {
-	v, ok := t[p.String()]
-	return v, ok
+	id, ok := t.u.Lookup(p)
+	if !ok {
+		return Value{}, false
+	}
+	return t.GetID(id)
 }
 
 // Null reports whether the path is ⊥ in the tuple.
 func (t Tuple) Null(p dtd.Path) bool {
-	_, ok := t[p.String()]
+	_, ok := t.Get(p)
 	return !ok
 }
 
 // Paths returns the non-null paths in sorted order.
 func (t Tuple) Paths() []string {
-	out := make([]string, 0, len(t))
-	for p := range t {
-		out = append(out, p)
+	out := make([]string, 0, t.set.Count())
+	for _, id := range t.u.LexOrder() {
+		if t.set.Has(id) {
+			out = append(out, t.u.StringOf(id))
+		}
 	}
-	sort.Strings(out)
 	return out
 }
 
 // Clone returns a copy of the tuple.
 func (t Tuple) Clone() Tuple {
-	c := make(Tuple, len(t))
-	for k, v := range t {
-		c[k] = v
+	return Tuple{u: t.u, set: t.set.Clone(), vals: append([]Value(nil), t.vals...)}
+}
+
+// merge copies o's non-null entries into t (same universe, so the
+// bitsets have equal word counts).
+func (t Tuple) merge(o Tuple) {
+	o.set.ForEach(func(id paths.ID) { t.vals[id] = o.vals[id] })
+	for i := range o.set {
+		t.set[i] |= o.set[i]
 	}
-	return c
 }
 
 // Project restricts the tuple to the given paths (null entries are
-// dropped).
-func (t Tuple) Project(paths []dtd.Path) Tuple {
-	out := Tuple{}
-	for _, p := range paths {
-		if v, ok := t[p.String()]; ok {
-			out[p.String()] = v
+// dropped). Each path is resolved against the universe exactly once.
+func (t Tuple) Project(ps []dtd.Path) Tuple {
+	out := NewTuple(t.u)
+	for _, p := range ps {
+		if id, ok := t.u.Lookup(p); ok && t.set.Has(id) {
+			out.SetID(id, t.vals[id])
+		}
+	}
+	return out
+}
+
+// ProjectIDs is Project for pre-resolved path IDs.
+func (t Tuple) ProjectIDs(ids []paths.ID) Tuple {
+	out := NewTuple(t.u)
+	for _, id := range ids {
+		if t.set.Has(id) {
+			out.SetID(id, t.vals[id])
 		}
 	}
 	return out
 }
 
 // Canonical renders the tuple deterministically, for deduplication and
-// test comparison. Vertex identities are included.
+// test comparison. Vertex identities are included. Keys appear in
+// sorted path order via the universe's precomputed lexicographic
+// order — no per-call sorting.
 func (t Tuple) Canonical() string {
-	keys := t.Paths()
 	var b strings.Builder
-	for i, k := range keys {
-		if i > 0 {
+	first := true
+	for _, id := range t.u.LexOrder() {
+		if !t.set.Has(id) {
+			continue
+		}
+		if !first {
 			b.WriteByte(';')
 		}
-		b.WriteString(k)
+		first = false
+		b.WriteString(t.u.StringOf(id))
 		b.WriteByte('=')
-		b.WriteString(t[k].String())
+		b.WriteString(t.vals[id].String())
 	}
 	return b.String()
 }
@@ -121,36 +189,76 @@ func (t Tuple) Canonical() string {
 // renders as "#"): two tuples with the same CanonicalValues carry the
 // same string information on the same paths.
 func (t Tuple) CanonicalValues() string {
-	keys := t.Paths()
 	var b strings.Builder
-	for i, k := range keys {
-		if i > 0 {
+	first := true
+	for _, id := range t.u.LexOrder() {
+		if !t.set.Has(id) {
+			continue
+		}
+		if !first {
 			b.WriteByte(';')
 		}
-		b.WriteString(k)
+		first = false
+		b.WriteString(t.u.StringOf(id))
 		b.WriteByte('=')
-		if t[k].IsNode() {
+		if t.vals[id].IsNode() {
 			b.WriteByte('#')
 		} else {
-			b.WriteString(t[k].String())
+			b.WriteString(t.vals[id].String())
 		}
 	}
 	return b.String()
 }
 
-// LE reports t ⊑ o: whenever t.p is non-null, o.p equals it.
+// appendKey appends an unambiguous binary encoding of the tuple (path
+// ID set plus values in ID order) to dst; two tuples over the same
+// universe encode equal iff they are Equal. Used for fast in-package
+// deduplication in place of Canonical.
+func (t Tuple) appendKey(dst []byte) []byte {
+	dst = t.set.AppendWords(dst)
+	dst = append(dst, 0xff)
+	t.set.ForEach(func(id paths.ID) {
+		v := t.vals[id]
+		if v.isNode {
+			dst = append(dst, 1)
+			dst = binary.AppendUvarint(dst, uint64(v.node))
+		} else {
+			dst = append(dst, 2)
+			dst = binary.AppendUvarint(dst, uint64(len(v.str)))
+			dst = append(dst, v.str...)
+		}
+	})
+	return dst
+}
+
+// LE reports t ⊑ o: whenever t.p is non-null, o.p equals it. Tuples
+// over the same universe compare by ID; otherwise values are matched
+// through the path strings.
 func (t Tuple) LE(o Tuple) bool {
-	for k, v := range t {
-		ov, ok := o[k]
-		if !ok || !ov.Equal(v) {
+	if t.u == o.u {
+		if !t.set.SubsetOf(o.set) {
 			return false
 		}
+		ok := true
+		t.set.ForEach(func(id paths.ID) {
+			if t.vals[id] != o.vals[id] {
+				ok = false
+			}
+		})
+		return ok
 	}
-	return true
+	ok := true
+	t.set.ForEach(func(id paths.ID) {
+		oid, in := o.u.LookupString(t.u.StringOf(id))
+		if !in || !o.set.Has(oid) || o.vals[oid] != t.vals[id] {
+			ok = false
+		}
+	})
+	return ok
 }
 
 // Equal reports equality as partial functions.
-func (t Tuple) Equal(o Tuple) bool { return len(t) == len(o) && t.LE(o) }
+func (t Tuple) Equal(o Tuple) bool { return t.set.Count() == o.set.Count() && t.LE(o) }
 
 // SetLE reports X ⊑* Y: every tuple of X is ⊑ some tuple of Y.
 func SetLE(x, y []Tuple) bool {
@@ -175,35 +283,41 @@ func SetLE(x, y []Tuple) bool {
 // occurs at one path only, and prefixes of non-null paths are non-null
 // (the contrapositive of downward ⊥ propagation).
 func (t Tuple) Validate(d *dtd.DTD) error {
-	if len(t) == 0 {
+	if t.u == nil || t.set.Empty() {
 		return fmt.Errorf("tuples: empty tuple (t.r must be non-null)")
 	}
-	if _, ok := t[d.Root()]; !ok {
+	rootID, ok := t.u.LookupString(d.Root())
+	if !ok || !t.set.Has(rootID) {
 		return fmt.Errorf("tuples: t.%s is null", d.Root())
 	}
-	seen := map[xmltree.NodeID]string{}
-	for k, v := range t {
-		p, err := dtd.ParsePath(k)
-		if err != nil {
-			return fmt.Errorf("tuples: bad path %q: %v", k, err)
+	seen := map[xmltree.NodeID]paths.ID{}
+	var firstErr error
+	t.set.ForEach(func(id paths.ID) {
+		if firstErr != nil {
+			return
 		}
-		if !d.IsPath(p) {
-			return fmt.Errorf("tuples: %q is not a path of the DTD", k)
+		info := t.u.Info(id)
+		v := t.vals[id]
+		if t.u.DTD() != d && !d.IsPath(info.Path) {
+			firstErr = fmt.Errorf("tuples: %q is not a path of the DTD", info.Str)
+			return
 		}
-		if p.IsElem() != v.IsNode() {
-			return fmt.Errorf("tuples: path %q has wrong value kind %s", k, v)
+		if (info.Kind == paths.ElemKind) != v.IsNode() {
+			firstErr = fmt.Errorf("tuples: path %q has wrong value kind %s", info.Str, v)
+			return
 		}
 		if v.IsNode() {
 			if prev, dup := seen[v.Node()]; dup {
-				return fmt.Errorf("tuples: vertex %s occurs at %q and %q", v, prev, k)
+				firstErr = fmt.Errorf("tuples: vertex %s occurs at %q and %q",
+					v, t.u.StringOf(prev), info.Str)
+				return
 			}
-			seen[v.Node()] = k
+			seen[v.Node()] = id
 		}
-		if parent := p.Parent(); parent != nil {
-			if _, ok := t[parent.String()]; !ok {
-				return fmt.Errorf("tuples: %q is non-null but its prefix %q is null", k, parent)
-			}
+		if info.Parent != paths.None && !t.set.Has(info.Parent) {
+			firstErr = fmt.Errorf("tuples: %q is non-null but its prefix %q is null",
+				info.Str, t.u.StringOf(info.Parent))
 		}
-	}
-	return nil
+	})
+	return firstErr
 }

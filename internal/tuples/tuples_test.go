@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/paths"
 	"xmlnorm/internal/xmltree"
 )
 
@@ -33,6 +34,47 @@ func coursesFixture(t *testing.T) (*dtd.DTD, *xmltree.Tree) {
 	return d, tree
 }
 
+func universeOf(t *testing.T, d *dtd.DTD) *paths.Universe {
+	t.Helper()
+	u, err := paths.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// mkTuple builds a tuple over a query universe interned from the
+// literal's keys — the test-side replacement for the old map literals.
+func mkTuple(t *testing.T, m map[string]Value) Tuple {
+	t.Helper()
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ps := make([]dtd.Path, len(keys))
+	for i, k := range keys {
+		ps[i] = dtd.MustParsePath(k)
+	}
+	u := paths.ForQuery(ps)
+	tup := NewTuple(u)
+	for i, k := range keys {
+		tup.SetID(u.MustLookup(ps[i]), m[k])
+	}
+	return tup
+}
+
+// mkTupleIn is mkTuple over a caller-supplied universe, for tuples that
+// must be comparable by the same-universe fast paths.
+func mkTupleIn(t *testing.T, u *paths.Universe, m map[string]Value) Tuple {
+	t.Helper()
+	tup := NewTuple(u)
+	for k, v := range m {
+		tup.SetID(u.MustLookup(dtd.MustParsePath(k)), v)
+	}
+	return tup
+}
+
 func TestCountTuples(t *testing.T) {
 	_, tree := coursesFixture(t)
 	// 2 courses, each with 2 students: 2 (course choice) × 2 (student
@@ -51,7 +93,8 @@ func TestCountTuples(t *testing.T) {
 
 func TestTuplesOfCourses(t *testing.T) {
 	d, tree := coursesFixture(t)
-	ts, err := TuplesOf(tree, 0)
+	u := universeOf(t, d)
+	ts, err := TuplesOf(u, tree, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,8 +107,8 @@ func TestTuplesOfCourses(t *testing.T) {
 			t.Errorf("tuple %d invalid: %v", i, err)
 		}
 		// 12 paths per tuple: the full chain of Figure 2.
-		if len(tup) != 12 {
-			t.Errorf("tuple %d has %d non-null paths, want 12", i, len(tup))
+		if tup.Len() != 12 {
+			t.Errorf("tuple %d has %d non-null paths, want 12", i, tup.Len())
 		}
 	}
 	// The (cno, sno, name, grade) combinations must be exactly those of
@@ -96,20 +139,23 @@ func TestTuplesOfCourses(t *testing.T) {
 // document gives rise to the tree shown in the paper.
 func TestTreeOfFigure2(t *testing.T) {
 	d, tree := coursesFixture(t)
-	ts, err := TuplesOf(tree, 0)
+	u := universeOf(t, d)
+	ts, err := TuplesOf(u, tree, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Find the tuple for (csc200, st1).
 	var tup Tuple
+	found := false
 	for _, x := range ts {
 		cno, _ := x.Get(dtd.MustParsePath("courses.course.@cno"))
 		sno, _ := x.Get(dtd.MustParsePath("courses.course.taken_by.student.@sno"))
 		if cno.Str() == "csc200" && sno.Str() == "st1" {
 			tup = x
+			found = true
 		}
 	}
-	if tup == nil {
+	if !found {
 		t.Fatal("tuple (csc200, st1) not found")
 	}
 	sub, err := TreeOf(d, tup)
@@ -158,7 +204,8 @@ func TestTheorem1RoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ts, err := TuplesOf(tree, 0)
+		u := universeOf(t, d)
+		ts, err := TuplesOf(u, tree, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -176,7 +223,8 @@ func TestTheorem1RoundTrip(t *testing.T) {
 // tuples_D(T): trees_D(X) is compatible with D and X ⊑* tuples_D(trees_D(X)).
 func TestProposition3(t *testing.T) {
 	d, tree := coursesFixture(t)
-	all, err := TuplesOf(tree, 0)
+	u := universeOf(t, d)
+	all, err := TuplesOf(u, tree, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +243,7 @@ func TestProposition3(t *testing.T) {
 		if err := xmltree.Compatible(glued, d); err != nil {
 			t.Errorf("mask %d: trees_D(X) not compatible: %v", mask, err)
 		}
-		back, err := TuplesOf(glued, 0)
+		back, err := TuplesOf(u, glued, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -212,7 +260,8 @@ func TestProposition3(t *testing.T) {
 // TestMonotonicity checks Proposition 2: T1 ≼ T2 implies
 // tuples_D(T1) ⊑* tuples_D(T2).
 func TestMonotonicity(t *testing.T) {
-	_, tree := coursesFixture(t)
+	d, tree := coursesFixture(t)
+	u := universeOf(t, d)
 	// Prune: keep only the first course (shared vertex IDs).
 	pruned := &xmltree.Tree{Root: &xmltree.Node{
 		ID: tree.Root.ID, Label: tree.Root.Label,
@@ -221,11 +270,11 @@ func TestMonotonicity(t *testing.T) {
 	if !xmltree.Subsumed(pruned, tree) {
 		t.Fatal("pruned not subsumed")
 	}
-	t1, err := TuplesOf(pruned, 0)
+	t1, err := TuplesOf(u, pruned, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t2, err := TuplesOf(tree, 0)
+	t2, err := TuplesOf(u, tree, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,12 +284,17 @@ func TestMonotonicity(t *testing.T) {
 }
 
 func TestTupleBasics(t *testing.T) {
-	a := Tuple{"r": NodeValue(1), "r.@x": StringValue("v")}
+	u := paths.ForQuery([]dtd.Path{
+		dtd.MustParsePath("r"),
+		dtd.MustParsePath("r.@x"),
+		dtd.MustParsePath("r.b"),
+	})
+	a := mkTupleIn(t, u, map[string]Value{"r": NodeValue(1), "r.@x": StringValue("v")})
 	b := a.Clone()
 	if !a.Equal(b) || !a.LE(b) || !b.LE(a) {
 		t.Error("clone should be equal")
 	}
-	b["r.b"] = NodeValue(2)
+	b.SetID(u.MustLookup(dtd.MustParsePath("r.b")), NodeValue(2))
 	if !a.LE(b) || b.LE(a) || a.Equal(b) {
 		t.Error("⊑ wrong after extension")
 	}
@@ -254,8 +308,8 @@ func TestTupleBasics(t *testing.T) {
 		t.Error("Null failed")
 	}
 	proj := b.Project([]dtd.Path{dtd.MustParsePath("r"), dtd.MustParsePath("r.zzz")})
-	if len(proj) != 1 {
-		t.Errorf("Project = %v", proj)
+	if proj.Len() != 1 {
+		t.Errorf("Project = %v", proj.Canonical())
 	}
 	if NodeValue(1).Equal(StringValue("#1")) {
 		t.Error("node and string values must differ")
@@ -265,9 +319,27 @@ func TestTupleBasics(t *testing.T) {
 	}
 }
 
+// TestTupleCrossUniverse: LE/Equal must agree across tuples indexed by
+// different universes, matching through path strings.
+func TestTupleCrossUniverse(t *testing.T) {
+	a := mkTuple(t, map[string]Value{"r": NodeValue(1), "r.@x": StringValue("v")})
+	b := mkTuple(t, map[string]Value{"r.@x": StringValue("v"), "r": NodeValue(1), "r.b": NodeValue(2)})
+	if !a.LE(b) || b.LE(a) {
+		t.Error("cross-universe LE wrong")
+	}
+	c := mkTuple(t, map[string]Value{"r": NodeValue(1), "r.@x": StringValue("v")})
+	if !a.Equal(c) || !c.Equal(a) {
+		t.Error("cross-universe Equal wrong")
+	}
+	d := mkTuple(t, map[string]Value{"r": NodeValue(1), "r.@x": StringValue("other")})
+	if a.LE(d) || d.LE(a) {
+		t.Error("cross-universe LE must compare values")
+	}
+}
+
 func TestCanonicalValuesErasesVertices(t *testing.T) {
-	a := Tuple{"r": NodeValue(1), "r.@x": StringValue("v")}
-	b := Tuple{"r": NodeValue(99), "r.@x": StringValue("v")}
+	a := mkTuple(t, map[string]Value{"r": NodeValue(1), "r.@x": StringValue("v")})
+	b := mkTuple(t, map[string]Value{"r": NodeValue(99), "r.@x": StringValue("v")})
 	if a.CanonicalValues() != b.CanonicalValues() {
 		t.Error("CanonicalValues should erase vertex identity")
 	}
@@ -282,17 +354,17 @@ func TestValidateRejects(t *testing.T) {
 		name string
 		tup  Tuple
 	}{
-		{"empty", Tuple{}},
-		{"no root", Tuple{"courses.course": NodeValue(1)}},
-		{"bad path", Tuple{"courses": NodeValue(1), "courses.zzz": NodeValue(2)}},
-		{"wrong kind (string at element)", Tuple{"courses": StringValue("x")}},
-		{"wrong kind (node at attr)", Tuple{
+		{"empty", mkTuple(t, map[string]Value{})},
+		{"no root", mkTuple(t, map[string]Value{"courses.course": NodeValue(1)})},
+		{"bad path", mkTuple(t, map[string]Value{"courses": NodeValue(1), "courses.zzz": NodeValue(2)})},
+		{"wrong kind (string at element)", mkTuple(t, map[string]Value{"courses": StringValue("x")})},
+		{"wrong kind (node at attr)", mkTuple(t, map[string]Value{
 			"courses": NodeValue(1), "courses.course": NodeValue(2),
-			"courses.course.@cno": NodeValue(3)}},
-		{"duplicate vertex", Tuple{
-			"courses": NodeValue(1), "courses.course": NodeValue(1)}},
-		{"null prefix", Tuple{
-			"courses": NodeValue(1), "courses.course.@cno": StringValue("c")}},
+			"courses.course.@cno": NodeValue(3)})},
+		{"duplicate vertex", mkTuple(t, map[string]Value{
+			"courses": NodeValue(1), "courses.course": NodeValue(1)})},
+		{"null prefix", mkTuple(t, map[string]Value{
+			"courses": NodeValue(1), "courses.course.@cno": StringValue("c")})},
 	}
 	for _, c := range cases {
 		if err := c.tup.Validate(d); err == nil {
@@ -305,27 +377,27 @@ func TestTreesOfInconsistent(t *testing.T) {
 	d, _ := coursesFixture(t)
 	// Same vertex, different attribute values.
 	x := []Tuple{
-		{"courses": NodeValue(1001), "courses.course": NodeValue(1002), "courses.course.@cno": StringValue("a")},
-		{"courses": NodeValue(1001), "courses.course": NodeValue(1002), "courses.course.@cno": StringValue("b")},
+		mkTuple(t, map[string]Value{"courses": NodeValue(1001), "courses.course": NodeValue(1002), "courses.course.@cno": StringValue("a")}),
+		mkTuple(t, map[string]Value{"courses": NodeValue(1001), "courses.course": NodeValue(1002), "courses.course.@cno": StringValue("b")}),
 	}
 	if _, err := TreesOf(d, x); err == nil {
 		t.Error("conflicting attribute values should fail")
 	}
 	// Same vertex under two parents.
 	y := []Tuple{
-		{"courses": NodeValue(2001), "courses.course": NodeValue(2002),
-			"courses.course.taken_by": NodeValue(2003)},
-		{"courses": NodeValue(2001), "courses.course": NodeValue(2004),
-			"courses.course.taken_by": NodeValue(2003)},
+		mkTuple(t, map[string]Value{"courses": NodeValue(2001), "courses.course": NodeValue(2002),
+			"courses.course.taken_by": NodeValue(2003)}),
+		mkTuple(t, map[string]Value{"courses": NodeValue(2001), "courses.course": NodeValue(2004),
+			"courses.course.taken_by": NodeValue(2003)}),
 	}
 	if _, err := TreesOf(d, y); err == nil {
 		t.Error("vertex with two parents should fail")
 	}
 	// Same vertex at two paths.
 	z := []Tuple{
-		{"courses": NodeValue(3001), "courses.course": NodeValue(3002)},
-		{"courses": NodeValue(3001), "courses.course": NodeValue(3003),
-			"courses.course.taken_by": NodeValue(3002)},
+		mkTuple(t, map[string]Value{"courses": NodeValue(3001), "courses.course": NodeValue(3002)}),
+		mkTuple(t, map[string]Value{"courses": NodeValue(3001), "courses.course": NodeValue(3003),
+			"courses.course.taken_by": NodeValue(3002)}),
 	}
 	if _, err := TreesOf(d, z); err == nil {
 		t.Error("vertex at two paths should fail")
@@ -337,19 +409,19 @@ func TestTreesOfInconsistent(t *testing.T) {
 
 func TestProjections(t *testing.T) {
 	_, tree := coursesFixture(t)
-	paths := []dtd.Path{
+	qpaths := []dtd.Path{
 		dtd.MustParsePath("courses.course.taken_by.student.@sno"),
 		dtd.MustParsePath("courses.course.taken_by.student.name.S"),
 	}
-	ps := Projections(tree, paths)
+	ps := Projections(tree, qpaths)
 	// Four students total, all (sno, name) pairs distinct as tuples of
 	// values... st1 appears twice with the same name but different
 	// student vertices do not matter after projection to value paths:
 	// (st1, Deere) dedups.
 	got := map[string]bool{}
 	for _, p := range ps {
-		sno, _ := p.Get(paths[0])
-		name, _ := p.Get(paths[1])
+		sno, _ := p.Get(qpaths[0])
+		name, _ := p.Get(qpaths[1])
 		got[sno.Str()+"|"+name.Str()] = true
 	}
 	want := []string{"st1|Deere", "st2|Smith", "st3|Smith"}
@@ -363,10 +435,36 @@ func TestProjections(t *testing.T) {
 	}
 }
 
+// TestProjectorMatchesProjections: a Projector compiled against the DTD
+// universe gives the same projections as the query-universe entry point.
+func TestProjectorMatchesProjections(t *testing.T) {
+	d, tree := coursesFixture(t)
+	u := universeOf(t, d)
+	qpaths := []dtd.Path{
+		dtd.MustParsePath("courses.course.@cno"),
+		dtd.MustParsePath("courses.course.taken_by.student.@sno"),
+	}
+	pr, err := NewProjector(u, qpaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pr.Of(tree)
+	want := Projections(tree, qpaths)
+	if len(got) != len(want) {
+		t.Fatalf("Projector.Of = %d tuples, Projections = %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Canonical() != want[i].Canonical() {
+			t.Errorf("tuple %d: %q vs %q", i, got[i].Canonical(), want[i].Canonical())
+		}
+	}
+}
+
 // TestProjectionsAgreeWithFullTuples cross-checks Projections against
 // projecting materialized maximal tuples.
 func TestProjectionsAgreeWithFullTuples(t *testing.T) {
-	_, tree := coursesFixture(t)
+	d, tree := coursesFixture(t)
+	u := universeOf(t, d)
 	pathSets := [][]string{
 		{"courses"},
 		{"courses.course", "courses.course.@cno"},
@@ -374,21 +472,21 @@ func TestProjectionsAgreeWithFullTuples(t *testing.T) {
 		{"courses.course.title.S", "courses.course.taken_by.student.grade.S"},
 		{"courses.course.taken_by.student"},
 	}
-	full, err := TuplesOf(tree, 0)
+	full, err := TuplesOf(u, tree, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, set := range pathSets {
-		var paths []dtd.Path
+		var qpaths []dtd.Path
 		for _, s := range set {
-			paths = append(paths, dtd.MustParsePath(s))
+			qpaths = append(qpaths, dtd.MustParsePath(s))
 		}
 		want := map[string]bool{}
 		for _, tup := range full {
-			want[tup.Project(paths).Canonical()] = true
+			want[tup.Project(qpaths).Canonical()] = true
 		}
 		got := map[string]bool{}
-		for _, tup := range Projections(tree, paths) {
+		for _, tup := range Projections(tree, qpaths) {
 			got[tup.Canonical()] = true
 		}
 		if len(got) != len(want) {
@@ -406,16 +504,16 @@ func TestProjectionsAgreeWithFullTuples(t *testing.T) {
 // TestProjectionsWithNulls: missing branches yield ⊥ in projections.
 func TestProjectionsWithNulls(t *testing.T) {
 	tree := xmltree.MustParseString(`<r><a k="1"/><a k="2"><b v="x"/></a></r>`)
-	paths := []dtd.Path{dtd.MustParsePath("r.a.@k"), dtd.MustParsePath("r.a.b.@v")}
-	ps := Projections(tree, paths)
+	qpaths := []dtd.Path{dtd.MustParsePath("r.a.@k"), dtd.MustParsePath("r.a.b.@v")}
+	ps := Projections(tree, qpaths)
 	if len(ps) != 2 {
 		t.Fatalf("projections = %v", ps)
 	}
 	foundNull := false
 	for _, p := range ps {
-		k, _ := p.Get(paths[0])
+		k, _ := p.Get(qpaths[0])
 		if k.Str() == "1" {
-			if !p.Null(paths[1]) {
+			if !p.Null(qpaths[1]) {
 				t.Error("a[k=1] should have ⊥ at r.a.b.@v")
 			}
 			foundNull = true
@@ -436,10 +534,21 @@ func TestTuplesOfCapExceeded(t *testing.T) {
 	}
 	b.WriteString("</r>")
 	tree := xmltree.MustParseString(b.String())
-	if _, err := TuplesOf(tree, 100); err == nil {
+	u := UniverseForTree(tree)
+	if _, err := TuplesOf(u, tree, 100); err == nil {
 		t.Error("cap should be enforced")
 	}
-	if ts, err := TuplesOf(tree, 2000); err != nil || len(ts) != 1024 {
+	if ts, err := TuplesOf(u, tree, 2000); err != nil || len(ts) != 1024 {
 		t.Errorf("TuplesOf = %d tuples, err %v", len(ts), err)
+	}
+}
+
+// TestTuplesOfUniverseMismatch: extracting against a universe missing a
+// tree path is an error, not a silent drop.
+func TestTuplesOfUniverseMismatch(t *testing.T) {
+	tree := xmltree.MustParseString(`<r><a/><zzz/></r>`)
+	u := paths.ForQuery([]dtd.Path{dtd.MustParsePath("r.a")})
+	if _, err := TuplesOf(u, tree, 0); err == nil {
+		t.Error("want error for tree path outside the universe")
 	}
 }

@@ -12,14 +12,76 @@ import (
 	"strings"
 
 	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/paths"
 	"xmlnorm/internal/tuples"
 	"xmlnorm/internal/xmltree"
 )
 
-// FD is a functional dependency S1 → S2 over the paths of a DTD.
+// FD is a functional dependency S1 → S2 over the paths of a DTD. The
+// parsed LHS/RHS path slices are the source of truth; Resolve populates
+// the interned SetLHS/SetRHS bitsets against a path universe so that
+// hot consumers (implication, the engine cache, XNF search) can compare
+// sides without re-serializing paths.
 type FD struct {
 	LHS []dtd.Path
 	RHS []dtd.Path
+
+	// SetLHS and SetRHS are the sides as bitsets over the universe the
+	// FD was last Resolved against; nil until Resolve is called.
+	SetLHS paths.Set
+	SetRHS paths.Set
+
+	resolvedIn *paths.Universe
+}
+
+// Resolve interns both sides against the universe, populating
+// SetLHS/SetRHS. It fails if some path of the FD is not in the
+// universe; the FD is left unresolved in that case.
+func (f *FD) Resolve(u *paths.Universe) error {
+	lhs := u.NewSet()
+	for _, p := range f.LHS {
+		id, ok := u.Lookup(p)
+		if !ok {
+			return fmt.Errorf("xfd: %s: %q is not in the path universe", f, p)
+		}
+		lhs.Add(id)
+	}
+	rhs := u.NewSet()
+	for _, p := range f.RHS {
+		id, ok := u.Lookup(p)
+		if !ok {
+			return fmt.Errorf("xfd: %s: %q is not in the path universe", f, p)
+		}
+		rhs.Add(id)
+	}
+	f.SetLHS, f.SetRHS, f.resolvedIn = lhs, rhs, u
+	return nil
+}
+
+// ResolvedIn returns the universe the FD's bitsets refer to, or nil if
+// Resolve has not been called.
+func (f FD) ResolvedIn() *paths.Universe { return f.resolvedIn }
+
+// AppendKey appends a canonical binary encoding of the FD over the
+// universe (LHS set words, a separator, RHS set words) to dst. It
+// reuses the resolved bitsets when they refer to u and resolves on the
+// fly otherwise; ok is false when some path is not in the universe (dst
+// is returned unchanged then). Two FDs append equal keys iff their
+// sides are equal as path sets.
+func (f FD) AppendKey(u *paths.Universe, dst []byte) (out []byte, ok bool) {
+	lhs, rhs := f.SetLHS, f.SetRHS
+	if f.resolvedIn != u {
+		var fresh FD
+		fresh.LHS, fresh.RHS = f.LHS, f.RHS
+		if err := fresh.Resolve(u); err != nil {
+			return dst, false
+		}
+		lhs, rhs = fresh.SetLHS, fresh.SetRHS
+	}
+	dst = lhs.AppendWords(dst)
+	dst = append(dst, 0xfe)
+	dst = rhs.AppendWords(dst)
+	return dst, true
 }
 
 // New builds an FD from dotted path strings, panicking on syntax errors;
@@ -137,7 +199,7 @@ func (f FD) Paths() []dtd.Path {
 	return out
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy, including any resolved bitsets.
 func (f FD) Clone() FD {
 	c := FD{LHS: make([]dtd.Path, len(f.LHS)), RHS: make([]dtd.Path, len(f.RHS))}
 	for i, p := range f.LHS {
@@ -146,11 +208,16 @@ func (f FD) Clone() FD {
 	for i, p := range f.RHS {
 		c.RHS[i] = p.Clone()
 	}
+	c.SetLHS, c.SetRHS, c.resolvedIn = f.SetLHS.Clone(), f.SetRHS.Clone(), f.resolvedIn
 	return c
 }
 
-// Equal reports whether two FDs have the same sides as sets.
+// Equal reports whether two FDs have the same sides as sets. FDs
+// resolved against the same universe compare by bitset.
 func (f FD) Equal(o FD) bool {
+	if f.resolvedIn != nil && f.resolvedIn == o.resolvedIn {
+		return f.SetLHS.Equal(o.SetLHS) && f.SetRHS.Equal(o.SetRHS)
+	}
 	return samePathSet(f.LHS, o.LHS) && samePathSet(f.RHS, o.RHS)
 }
 
@@ -183,20 +250,93 @@ func pathStrings(ps []dtd.Path) []string {
 }
 
 // SingleRHS splits the FD into one FD per right-hand-side path
-// (implication treats S → {p, q} as {S → p, S → q}).
+// (implication treats S → {p, q} as {S → p, S → q}). If the FD is
+// resolved, each single inherits the resolution (the LHS bitset is
+// shared, read-only).
 func (f FD) SingleRHS() []FD {
 	out := make([]FD, 0, len(f.RHS))
 	for _, p := range f.RHS {
-		out = append(out, FD{LHS: f.LHS, RHS: []dtd.Path{p}})
+		single := FD{LHS: f.LHS, RHS: []dtd.Path{p}}
+		if f.resolvedIn != nil {
+			if id, ok := f.resolvedIn.Lookup(p); ok {
+				single.SetLHS = f.SetLHS
+				single.SetRHS = f.resolvedIn.SetOf(id)
+				single.resolvedIn = f.resolvedIn
+			}
+		}
+		out = append(out, single)
 	}
 	return out
+}
+
+// Checker is a compiled satisfaction check for one FD over a path
+// universe: a projection plan (shared across trees) plus the FD's sides
+// pre-resolved to IDs. Build once, reuse across trees — a Checker is
+// read-only after construction and safe for concurrent use.
+type Checker struct {
+	fd  FD
+	pr  *tuples.Projector
+	lhs []paths.ID
+	rhs []paths.ID
+}
+
+// NewChecker compiles the FD against the universe. Every path of the FD
+// must be interned in the universe.
+func NewChecker(u *paths.Universe, f FD) (*Checker, error) {
+	pr, err := tuples.NewProjector(u, f.Paths())
+	if err != nil {
+		return nil, fmt.Errorf("xfd: %s: %v", f, err)
+	}
+	c := &Checker{fd: f, pr: pr}
+	for _, p := range f.LHS {
+		c.lhs = append(c.lhs, u.MustLookup(p))
+	}
+	for _, p := range f.RHS {
+		c.rhs = append(c.rhs, u.MustLookup(p))
+	}
+	return c, nil
+}
+
+// FD returns the compiled dependency.
+func (c *Checker) FD() FD { return c.fd }
+
+// Satisfies checks T ⊨ f.
+func (c *Checker) Satisfies(t *xmltree.Tree) bool {
+	_, bad := c.Violation(t)
+	return !bad
+}
+
+// Violation returns a witness pair of projected tuples violating the
+// FD, if any.
+func (c *Checker) Violation(t *xmltree.Tree) ([2]tuples.Tuple, bool) {
+	proj := c.pr.Of(t)
+	// Group by LHS values; within a group all RHS projections must agree.
+	groups := make(map[string]tuples.Tuple, len(proj))
+	var buf []byte
+	for _, tup := range proj {
+		key, ok := lhsKey(tup, c.lhs, buf[:0])
+		if !ok {
+			continue // some LHS value is ⊥: the FD does not apply
+		}
+		buf = key
+		first, seen := groups[string(key)]
+		if !seen {
+			groups[string(key)] = tup
+			continue
+		}
+		if !sameRHS(first, tup, c.rhs) {
+			return [2]tuples.Tuple{first, tup}, true
+		}
+	}
+	return [2]tuples.Tuple{}, false
 }
 
 // Satisfies checks T ⊨ f: for every pair of maximal tuples t1, t2 of T,
 // if t1.LHS = t2.LHS with all values non-null, then t1.RHS = t2.RHS
 // (null = null counts as equal). The check enumerates projections of the
 // maximal tuples onto the FD's paths only, so it does not materialize
-// the full tuple set.
+// the full tuple set. Callers checking many trees against the same FD
+// should compile a Checker once instead.
 func Satisfies(t *xmltree.Tree, f FD) bool {
 	_, ok := Violation(t, f)
 	return !ok
@@ -205,24 +345,11 @@ func Satisfies(t *xmltree.Tree, f FD) bool {
 // Violation returns a witness pair of projected tuples violating f, if
 // any.
 func Violation(t *xmltree.Tree, f FD) ([2]tuples.Tuple, bool) {
-	proj := tuples.Projections(t, f.Paths())
-	// Group by LHS values; within a group all RHS projections must agree.
-	groups := map[string]tuples.Tuple{}
-	for _, tup := range proj {
-		key, ok := lhsKey(tup, f.LHS)
-		if !ok {
-			continue // some LHS value is ⊥: the FD does not apply
-		}
-		first, seen := groups[key]
-		if !seen {
-			groups[key] = tup
-			continue
-		}
-		if !sameRHS(first, tup, f.RHS) {
-			return [2]tuples.Tuple{first, tup}, true
-		}
+	c, err := NewChecker(paths.ForQuery(f.Paths()), f)
+	if err != nil {
+		return [2]tuples.Tuple{}, false // unreachable: query universes intern all f's paths
 	}
-	return [2]tuples.Tuple{}, false
+	return c.Violation(t)
 }
 
 // SatisfiesAll checks T ⊨ Σ.
@@ -235,23 +362,39 @@ func SatisfiesAll(t *xmltree.Tree, sigma []FD) bool {
 	return true
 }
 
-func lhsKey(t tuples.Tuple, lhs []dtd.Path) (string, bool) {
-	var b strings.Builder
-	for _, p := range lhs {
-		v, ok := t.Get(p)
+// lhsKey appends an unambiguous binary encoding of the tuple's LHS
+// values to dst; ok is false when some LHS value is ⊥.
+func lhsKey(t tuples.Tuple, lhs []paths.ID, dst []byte) (key []byte, ok bool) {
+	for _, id := range lhs {
+		v, ok := t.GetID(id)
 		if !ok {
-			return "", false
+			return dst, false
 		}
-		b.WriteString(v.String())
-		b.WriteByte('|')
+		if v.IsNode() {
+			dst = append(dst, 1)
+			dst = appendUvarint(dst, uint64(v.Node()))
+		} else {
+			s := v.Str()
+			dst = append(dst, 2)
+			dst = appendUvarint(dst, uint64(len(s)))
+			dst = append(dst, s...)
+		}
 	}
-	return b.String(), true
+	return dst, true
 }
 
-func sameRHS(a, b tuples.Tuple, rhs []dtd.Path) bool {
-	for _, p := range rhs {
-		av, aok := a.Get(p)
-		bv, bok := b.Get(p)
+func appendUvarint(dst []byte, x uint64) []byte {
+	for x >= 0x80 {
+		dst = append(dst, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(dst, byte(x))
+}
+
+func sameRHS(a, b tuples.Tuple, rhs []paths.ID) bool {
+	for _, id := range rhs {
+		av, aok := a.GetID(id)
+		bv, bok := b.GetID(id)
 		if aok != bok {
 			return false
 		}

@@ -253,7 +253,7 @@ func TestViolationReport(t *testing.T) {
 	if len(rep) != 1 || !rep[0].FD.Equal(MustParse(fd3)) {
 		t.Fatalf("report = %v, want FD3 only", rep)
 	}
-	if len(rep[0].Witness[0]) == 0 || len(rep[0].Witness[1]) == 0 {
+	if rep[0].Witness[0].Len() == 0 || rep[0].Witness[1].Len() == 0 {
 		t.Error("witness tuples missing")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/paths"
 	"xmlnorm/internal/tuples"
 	"xmlnorm/internal/xmltree"
 )
@@ -114,10 +115,22 @@ func (c *CreateStep) rhsCarrier() dtd.Path { return c.RHS.Parent() }
 // Apply groups the values under fresh τ elements.
 func (c *CreateStep) Apply(t *xmltree.Tree) error {
 	// Project the document onto q, the LHS attributes and the RHS to
-	// recover the (q node, x1..xn, v) associations tuple by tuple.
-	paths := append([]dtd.Path{c.Q}, c.LHSAttrs...)
-	paths = append(paths, c.RHS)
-	projections := tuples.Projections(t, paths)
+	// recover the (q node, x1..xn, v) associations tuple by tuple. The
+	// path set is compiled once into a query-local universe; the
+	// per-tuple work is then integer indexing.
+	ps := append([]dtd.Path{c.Q}, c.LHSAttrs...)
+	ps = append(ps, c.RHS)
+	u := paths.ForQuery(ps)
+	pr, err := tuples.NewProjector(u, ps)
+	if err != nil {
+		return err
+	}
+	qID, rhsID := u.MustLookup(c.Q), u.MustLookup(c.RHS)
+	lhsIDs := make([]paths.ID, len(c.LHSAttrs))
+	for i, lp := range c.LHSAttrs {
+		lhsIDs[i] = u.MustLookup(lp)
+	}
+	detIDs := append([]paths.ID{qID}, lhsIDs...)
 
 	index := nodeIndex(t)
 	type group struct {
@@ -125,12 +138,13 @@ func (c *CreateStep) Apply(t *xmltree.Tree) error {
 	}
 	perQ := map[xmltree.NodeID]map[string]*group{} // q node -> v -> group
 	seenLHS := map[string]string{}                 // guarding-FD check: LHS values -> v
-	for _, tup := range projections {
-		qv, ok := tup.Get(c.Q)
+	var keyBuf []byte
+	for _, tup := range pr.Of(t) {
+		qv, ok := tup.GetID(qID)
 		if !ok {
 			continue
 		}
-		rv, hasRHS := tup.Get(c.RHS)
+		rv, hasRHS := tup.GetID(rhsID)
 		if !hasRHS && !c.OptionalValue {
 			continue // ⊥ RHS only arises in the footnote case
 		}
@@ -141,11 +155,14 @@ func (c *CreateStep) Apply(t *xmltree.Tree) error {
 		// The transformation is only information-preserving on documents
 		// that satisfy the anomalous FD; detect violations instead of
 		// silently splitting one determinant across two groups.
-		if key, ok := lhsValueKey(tup, append([]dtd.Path{c.Q}, c.LHSAttrs...)); ok {
-			if prev, dup := seenLHS[key]; dup && prev != vKey {
+		if key, ok := lhsValueKey(tup, detIDs, keyBuf[:0]); ok {
+			keyBuf = key
+			if prev, dup := seenLHS[string(key)]; dup && prev != vKey {
 				return fmt.Errorf("xnf: document violates the guarding FD: one determinant maps to %q and %q", prev, vKey)
 			}
-			seenLHS[key] = vKey
+			seenLHS[string(key)] = vKey
+		} else {
+			keyBuf = key
 		}
 		byV := perQ[qv.Node()]
 		if byV == nil {
@@ -160,8 +177,8 @@ func (c *CreateStep) Apply(t *xmltree.Tree) error {
 			}
 			byV[vKey] = g
 		}
-		for i, lp := range c.LHSAttrs {
-			if xv, ok := tup.Get(lp); ok {
+		for i, lid := range lhsIDs {
+			if xv, ok := tup.GetID(lid); ok {
 				g.values[i][xv.Str()] = true
 			}
 		}
@@ -302,15 +319,25 @@ func (c *CreateStep) Invert(t *xmltree.Tree) error {
 	if c.TextForm {
 		target = target.Parent()
 	}
-	paths := append([]dtd.Path{c.Q}, c.LHSAttrs...)
-	paths = append(paths, target)
+	ps := append([]dtd.Path{c.Q}, c.LHSAttrs...)
+	ps = append(ps, target)
+	u := paths.ForQuery(ps)
+	pr, err := tuples.NewProjector(u, ps)
+	if err != nil {
+		return err
+	}
+	qID, targetID := u.MustLookup(c.Q), u.MustLookup(target)
+	lhsIDs := make([]paths.ID, len(c.LHSAttrs))
+	for i, lp := range c.LHSAttrs {
+		lhsIDs[i] = u.MustLookup(lp)
+	}
 	index := nodeIndex(t)
-	for _, tup := range tuples.Projections(t, paths) {
-		qv, ok := tup.Get(c.Q)
+	for _, tup := range pr.Of(t) {
+		qv, ok := tup.GetID(qID)
 		if !ok {
 			continue
 		}
-		carrier, ok := tup.Get(target)
+		carrier, ok := tup.GetID(targetID)
 		if !ok {
 			continue
 		}
@@ -324,8 +351,8 @@ func (c *CreateStep) Invert(t *xmltree.Tree) error {
 			// the value for every carrier below it.
 			v, found = lk.only, lk.hasOnly
 		}
-		for i, lp := range c.LHSAttrs {
-			xv, ok := tup.Get(lp)
+		for i, lid := range lhsIDs {
+			xv, ok := tup.GetID(lid)
 			if !ok {
 				continue
 			}

@@ -6,6 +6,7 @@ import (
 
 	"xmlnorm/internal/dtd"
 	"xmlnorm/internal/engine"
+	"xmlnorm/internal/paths"
 	"xmlnorm/internal/xfd"
 )
 
@@ -214,46 +215,51 @@ func minimize(eng *engine.Engine, f xfd.FD) (xfd.FD, error) {
 
 // findSmallerAnomalous searches the candidate space of the minimality
 // definition: subsets S' of {q, p1, ..., pn, p0.@l0, ..., pn.@ln} with
-// |S'| ≤ n and at most one element path, targeting any pᵢ.@lᵢ.
+// |S'| ≤ n and at most one element path, targeting any pᵢ.@lᵢ. The
+// candidates are interned into the engine's path universe up front;
+// the enumeration then manipulates integer IDs and tests membership on
+// bitsets, rendering each subset back to paths only when it is about to
+// be queried. The enumeration order is identical to the historical
+// path-slice recursion.
 func findSmallerAnomalous(eng *engine.Engine, f xfd.FD) (xfd.FD, bool, error) {
-	rhs := f.RHS[0]
-	var attrs []dtd.Path // p0.@l0 (the RHS), then the LHS attribute paths
-	attrs = append(attrs, rhs)
-	var candidates []dtd.Path
+	u := eng.Universe()
+	rhs := u.MustLookup(f.RHS[0])
+	attrs := []paths.ID{rhs} // p0.@l0 (the RHS), then the LHS attribute paths
+	var candidates []paths.ID
 	for _, q := range lhsElemPaths(f) {
-		candidates = append(candidates, q)
+		candidates = append(candidates, u.MustLookup(q))
 	}
 	for _, p := range f.LHS {
 		if !p.IsElem() {
-			attrs = append(attrs, p)
-			candidates = append(candidates, p.Parent()) // pᵢ
+			attrs = append(attrs, u.MustLookup(p))
+			candidates = append(candidates, u.MustLookup(p.Parent())) // pᵢ
 		}
 	}
 	candidates = append(candidates, attrs...)
-	candidates = dedupPaths(candidates)
+	candidates = dedupIDs(u, candidates)
 	n := len(attrs) - 1 // number of LHS attribute paths
 	if n < 1 {
 		return xfd.FD{}, false, nil
 	}
 	// Enumerate subsets of size ≤ n with ≤ 1 element path.
-	var subsets [][]dtd.Path
-	var rec func(i int, cur []dtd.Path, epaths int)
-	rec = func(i int, cur []dtd.Path, epaths int) {
+	var subsets [][]paths.ID
+	var rec func(i int, cur []paths.ID, epaths int)
+	rec = func(i int, cur []paths.ID, epaths int) {
 		if len(cur) > 0 {
-			subsets = append(subsets, append([]dtd.Path(nil), cur...))
+			subsets = append(subsets, append([]paths.ID(nil), cur...))
 		}
 		if i == len(candidates) || len(cur) == n {
 			return
 		}
 		for j := i; j < len(candidates); j++ {
 			e := epaths
-			if candidates[j].IsElem() {
+			if u.KindOf(candidates[j]) == paths.ElemKind {
 				e++
 				if e > 1 {
 					continue
 				}
 			}
-			next := make([]dtd.Path, len(cur)+1)
+			next := make([]paths.ID, len(cur)+1)
 			copy(next, cur)
 			next[len(cur)] = candidates[j]
 			rec(j+1, next, e)
@@ -261,9 +267,11 @@ func findSmallerAnomalous(eng *engine.Engine, f xfd.FD) (xfd.FD, bool, error) {
 	}
 	rec(0, nil, 0)
 	for _, sp := range subsets {
+		spSet := u.SetOf(sp...)
 		for _, target := range attrs {
-			cand := xfd.FD{LHS: sp, RHS: []dtd.Path{target}}
-			if cand.Equal(f) || pathIn(sp, target) {
+			cand := xfd.FD{LHS: idPaths(u, sp), RHS: []dtd.Path{u.PathOf(target)}}
+			_ = cand.Resolve(u) // candidate paths come from the universe; always succeeds
+			if cand.Equal(f) || spSet.Has(target) {
 				continue
 			}
 			ans, err := eng.Implies(cand)
@@ -281,7 +289,7 @@ func findSmallerAnomalous(eng *engine.Engine, f xfd.FD) (xfd.FD, bool, error) {
 				continue
 			}
 			// Anomalous: S' must not determine the parent element.
-			parent, err := eng.Implies(xfd.FD{LHS: sp, RHS: []dtd.Path{target.Parent()}})
+			parent, err := eng.Implies(xfd.FD{LHS: cand.LHS, RHS: []dtd.Path{u.PathOf(u.ParentOf(target))}})
 			if err != nil {
 				return xfd.FD{}, false, err
 			}
@@ -294,26 +302,28 @@ func findSmallerAnomalous(eng *engine.Engine, f xfd.FD) (xfd.FD, bool, error) {
 	return xfd.FD{}, false, nil
 }
 
-func dedupPaths(ps []dtd.Path) []dtd.Path {
-	seen := map[string]bool{}
-	var out []dtd.Path
-	for _, p := range ps {
-		if p == nil || seen[p.String()] {
+// dedupIDs keeps the first occurrence of each interned path, tracking
+// seen IDs in a bitset.
+func dedupIDs(u *paths.Universe, ids []paths.ID) []paths.ID {
+	seen := u.NewSet()
+	var out []paths.ID
+	for _, id := range ids {
+		if seen.Has(id) {
 			continue
 		}
-		seen[p.String()] = true
-		out = append(out, p)
+		seen.Add(id)
+		out = append(out, id)
 	}
 	return out
 }
 
-func pathIn(ps []dtd.Path, p dtd.Path) bool {
-	for _, x := range ps {
-		if x.Equal(p) {
-			return true
-		}
+// idPaths renders interned IDs back to paths.
+func idPaths(u *paths.Universe, ids []paths.ID) []dtd.Path {
+	out := make([]dtd.Path, len(ids))
+	for i, id := range ids {
+		out[i] = u.PathOf(id)
 	}
-	return false
+	return out
 }
 
 func renameSummary(renames map[string]string) string {

@@ -1,10 +1,10 @@
 package xnf
 
 import (
-	"fmt"
-	"strings"
+	"encoding/binary"
 
 	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/paths"
 	"xmlnorm/internal/tuples"
 	"xmlnorm/internal/xmltree"
 )
@@ -30,7 +30,9 @@ type RedundancyReport struct {
 
 // MeasureRedundancy counts, for each anomalous FD of the specification,
 // how many stored copies of the determined value the document carries
-// beyond one per distinct left-hand side.
+// beyond one per distinct left-hand side. Each anomaly compiles its
+// path set into a query-local universe once; the per-tuple work is then
+// integer lookups and an allocation-free binary group key.
 func MeasureRedundancy(s Spec, t *xmltree.Tree) (RedundancyReport, error) {
 	anomalies, err := Anomalies(s)
 	if err != nil {
@@ -40,23 +42,35 @@ func MeasureRedundancy(s Spec, t *xmltree.Tree) (RedundancyReport, error) {
 	for _, a := range anomalies {
 		rhs := a.FD.RHS[0]
 		carrier := rhs.Parent() // the node storing the value
-		paths := append(append([]dtd.Path{}, a.FD.LHS...), rhs, carrier)
+		ps := append(append([]dtd.Path{}, a.FD.LHS...), rhs, carrier)
+		u := paths.ForQuery(ps)
+		pr, err := tuples.NewProjector(u, ps)
+		if err != nil {
+			return RedundancyReport{}, err
+		}
+		rhsID, carrierID := u.MustLookup(rhs), u.MustLookup(carrier)
+		lhsIDs := make([]paths.ID, len(a.FD.LHS))
+		for i, p := range a.FD.LHS {
+			lhsIDs[i] = u.MustLookup(p)
+		}
 		carriers := map[xmltree.NodeID]bool{}
 		groups := map[string]bool{}
-		for _, tup := range tuples.Projections(t, paths) {
-			cv, ok := tup.Get(carrier)
+		var buf []byte
+		for _, tup := range pr.Of(t) {
+			cv, ok := tup.GetID(carrierID)
 			if !ok {
 				continue
 			}
-			if _, ok := tup.Get(rhs); !ok {
+			if _, ok := tup.GetID(rhsID); !ok {
 				continue
 			}
-			key, ok := lhsValueKey(tup, a.FD.LHS)
+			key, ok := lhsValueKey(tup, lhsIDs, buf[:0])
+			buf = key
 			if !ok {
 				continue
 			}
 			carriers[cv.Node()] = true
-			groups[key] = true
+			groups[string(key)] = true
 		}
 		r := FDRedundancy{
 			FD:          a.FD.String(),
@@ -72,14 +86,26 @@ func MeasureRedundancy(s Spec, t *xmltree.Tree) (RedundancyReport, error) {
 	return rep, nil
 }
 
-func lhsValueKey(t tuples.Tuple, lhs []dtd.Path) (string, bool) {
-	var b strings.Builder
-	for _, p := range lhs {
-		v, ok := t.Get(p)
+// lhsValueKey appends a self-delimiting binary rendering of the tuple's
+// LHS values to dst: node values by vertex id, string values
+// length-prefixed, each behind a type tag. Distinct value combinations
+// get distinct keys (unlike a separator-joined string, which a value
+// containing the separator could forge).
+func lhsValueKey(t tuples.Tuple, lhs []paths.ID, dst []byte) ([]byte, bool) {
+	for _, id := range lhs {
+		v, ok := t.GetID(id)
 		if !ok {
-			return "", false
+			return dst, false
 		}
-		fmt.Fprintf(&b, "%s|", v)
+		if v.IsNode() {
+			dst = append(dst, 1)
+			dst = binary.AppendUvarint(dst, uint64(v.Node()))
+		} else {
+			s := v.Str()
+			dst = append(dst, 2)
+			dst = binary.AppendUvarint(dst, uint64(len(s)))
+			dst = append(dst, s...)
+		}
 	}
-	return b.String(), true
+	return dst, true
 }

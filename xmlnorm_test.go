@@ -1,6 +1,7 @@
 package xmlnorm
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -173,6 +174,41 @@ func FuzzParseSpec(f *testing.F) {
 	f.Add("garbage")
 	f.Add("<!ELEMENT r EMPTY>\n%%\n")
 	f.Add("<!ELEMENT r (a*)>\n<!ELEMENT a EMPTY>\n<!ATTLIST a x CDATA #REQUIRED>\n%%\nr.a.@x -> r.a\n")
+	// Wide seeds whose path universes exceed 64 entries, so the interned
+	// path-sets spill past a single bitset word (internal/paths stores
+	// sets as []uint64; these exercise the multi-word carry/compare
+	// paths through the whole pipeline, not just the parser).
+	var wide strings.Builder
+	wide.WriteString("<!ELEMENT r (a*,b*)>\n")
+	for _, el := range []string{"a", "b"} {
+		fmt.Fprintf(&wide, "<!ELEMENT %s EMPTY>\n<!ATTLIST %s\n", el, el)
+		for i := 0; i < 40; i++ {
+			fmt.Fprintf(&wide, "  k%02d CDATA #REQUIRED\n", i)
+		}
+		wide.WriteString(">\n")
+	}
+	// FDs touching the first and last attributes of each element keep
+	// both ends of the (>160-path) universe live in the same bitsets.
+	wide.WriteString("%%\nr.a.@k00 -> r.a\nr.a.@k39 -> r.a.@k00\nr.b.@k00, r.b.@k39 -> r.b\n")
+	f.Add(wide.String())
+	var deep strings.Builder
+	for i := 0; i < 70; i++ {
+		next := fmt.Sprintf("e%02d", i+1)
+		this := "r"
+		if i > 0 {
+			this = fmt.Sprintf("e%02d", i)
+		}
+		fmt.Fprintf(&deep, "<!ELEMENT %s (%s?)>\n", this, next)
+	}
+	deep.WriteString("<!ELEMENT e70 EMPTY>\n<!ATTLIST e70 id CDATA #REQUIRED>\n%%\n")
+	deep.WriteString("r.e01.e02.e03.e04.e05.e06.e07.e08.e09.e10" +
+		".e11.e12.e13.e14.e15.e16.e17.e18.e19.e20" +
+		".e21.e22.e23.e24.e25.e26.e27.e28.e29.e30" +
+		".e31.e32.e33.e34.e35.e36.e37.e38.e39.e40" +
+		".e41.e42.e43.e44.e45.e46.e47.e48.e49.e50" +
+		".e51.e52.e53.e54.e55.e56.e57.e58.e59.e60" +
+		".e61.e62.e63.e64.e65.e66.e67.e68.e69.e70.@id -> r.e01\n")
+	f.Add(deep.String())
 	f.Fuzz(func(t *testing.T, text string) {
 		s, err := ParseSpec(text)
 		if err != nil {
