@@ -349,3 +349,18 @@ func BenchmarkE17_PathInterning(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE18_StreamingTuples: materialize-then-check vs the
+// streaming CheckerSet on the wide-fan-out family, over-cap row
+// included. CI runs this with -count=3 and archives the
+// cmd/experiments JSON of the same sweep as the BENCH_stream.json
+// artifact. The table's verdict-agreement, speedup and allocation
+// gates are checked by the `cmd/experiments E18` CI step; here only
+// hard errors fail, so timing noise can't flake the bench job.
+func BenchmarkE18_StreamingTuples(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E18StreamingTuples(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

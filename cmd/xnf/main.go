@@ -7,6 +7,7 @@
 // Usage:
 //
 //	xnf check <spec>                 test XNF, list anomalous FDs
+//	xnf check <spec> <doc.xml>       check the document against Σ (streaming)
 //	xnf normalize <spec>             print the normalized specification
 //	xnf implies <spec> "<fd>"        decide (D, Σ) ⊢ fd
 //	xnf classify <spec>              DTD taxonomy (simple/disjunctive/N_D/...)
@@ -122,16 +123,19 @@ func loadDoc(path string) (*xmlnorm.Tree, error) {
 
 func cmdCheck(args []string) error {
 	fs := flag.NewFlagSet("check", flag.ContinueOnError)
-	witness := fs.Bool("witness", false, "print a concrete redundant document per anomaly")
+	witness := fs.Bool("witness", false, "print a concrete redundant document per anomaly / a violating tuple pair per FD")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: xnf check [-witness] <spec>")
+	if fs.NArg() != 1 && fs.NArg() != 2 {
+		return fmt.Errorf("usage: xnf check [-witness] <spec> [doc.xml]")
 	}
 	s, err := loadSpec(fs.Arg(0))
 	if err != nil {
 		return err
+	}
+	if fs.NArg() == 2 {
+		return checkDocument(s, fs.Arg(1), *witness)
 	}
 	ok, anomalies, err := xmlnorm.CheckXNFOpts(s, engOpts)
 	if err != nil {
@@ -148,6 +152,48 @@ func cmdCheck(args []string) error {
 			fmt.Println("    witness document storing the value redundantly:")
 			for _, line := range strings.Split(strings.TrimRight(a.Witness.String(), "\n"), "\n") {
 				fmt.Printf("      %s\n", line)
+			}
+		}
+	}
+	return errNegative
+}
+
+// checkDocument is the document mode of "xnf check": it decides T ⊨ Σ
+// through the streaming CheckerSet pipeline — the tuple product is
+// never materialized, so documents far past the old MaxTuples ceiling
+// check fine — and, with -witness, prints a violating pair of tuple
+// projections per violated FD. -parallel shards the verdict pass over
+// the root's top-level sibling choices; witnesses are re-derived
+// sequentially, so output is identical at every worker count.
+func checkDocument(s xmlnorm.Spec, docPath string, witness bool) error {
+	doc, err := loadDoc(docPath)
+	if err != nil {
+		return err
+	}
+	if err := xmlnorm.ConformsUnordered(doc, s.DTD); err != nil {
+		return fmt.Errorf("document does not conform to the spec: %v", err)
+	}
+	violated := xmlnorm.ViolationsOpts(doc, s.FDs, engOpts)
+	if len(violated) == 0 {
+		fmt.Printf("satisfies all %d FD(s)\n", len(s.FDs))
+		return nil
+	}
+	fmt.Printf("violates %d of %d FD(s)\n", len(violated), len(s.FDs))
+	for _, v := range violated {
+		fmt.Printf("  %s\n", v.FD)
+		if witness {
+			fmt.Println("    witness tuple pair (t1 | t2):")
+			for _, p := range v.FD.Paths() {
+				a, aok := v.Witness[0].Get(p)
+				b, bok := v.Witness[1].Get(p)
+				as, bs := "⊥", "⊥"
+				if aok {
+					as = a.String()
+				}
+				if bok {
+					bs = b.String()
+				}
+				fmt.Printf("      %-40s %s | %s\n", p, as, bs)
 			}
 		}
 	}
@@ -381,11 +427,10 @@ func cmdValidate(args []string) error {
 	if err := xmlnorm.Conforms(doc, s.DTD); err != nil {
 		return fmt.Errorf("conformance: %v", err)
 	}
+	// One streaming walk over the document decides all of Σ.
 	var violated []string
-	for _, f := range s.FDs {
-		if !xmlnorm.Satisfies(doc, f) {
-			violated = append(violated, f.String())
-		}
+	for _, v := range xmlnorm.ViolationsOpts(doc, s.FDs, engOpts) {
+		violated = append(violated, v.FD.String())
 	}
 	if len(violated) > 0 {
 		fmt.Printf("conforms, but violates %d FD(s):\n  %s\n", len(violated), strings.Join(violated, "\n  "))

@@ -2,6 +2,7 @@ package main
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -206,5 +207,109 @@ func TestCoverCommand(t *testing.T) {
 	}
 	if err := run([]string{"cover"}); err == nil {
 		t.Error("missing argument accepted")
+	}
+}
+
+// wideSpec renders a WideDTD-shaped spec: root r with width starred
+// EMPTY children c<i> carrying one attribute each, and σ chaining the
+// labels (r.c_i.@a_i_0 -> r.c_{i+1}.@a_{i+1}_0) into one
+// branch-sharing cluster.
+func wideSpec(width int) string {
+	var b strings.Builder
+	b.WriteString("<!ELEMENT r (")
+	for i := 0; i < width; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "c%d*", i)
+	}
+	b.WriteString(")>\n")
+	for i := 0; i < width; i++ {
+		fmt.Fprintf(&b, "<!ELEMENT c%d EMPTY>\n<!ATTLIST c%d a%d_0 CDATA #REQUIRED>\n", i, i, i)
+	}
+	b.WriteString("%%\n")
+	for i := 0; i+1 < width; i++ {
+		fmt.Fprintf(&b, "r.c%d.@a%d_0 -> r.c%d.@a%d_0\n", i, i, i+1, i+1)
+	}
+	return b.String()
+}
+
+// wideDocXML renders a conforming document with m children per label,
+// attribute values constant per label, so the chained σ holds and the
+// maximal-tuple count is m^width.
+func wideDocXML(width, m int) string {
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < width; i++ {
+		for j := 0; j < m; j++ {
+			fmt.Fprintf(&b, "<c%d a%d_0=\"v%d\"/>", i, i, i)
+		}
+	}
+	b.WriteString("</r>")
+	return b.String()
+}
+
+// TestCheckDocumentStreaming covers the document mode of "xnf check":
+// the streaming σ check must decide a document whose maximal-tuple
+// count (8^7 = 2097152) is past the materialization cap that still
+// makes "xnf tuples" refuse the very same document, must print
+// deterministic witnesses on violations at every -parallel setting,
+// and must exit with the negative-result code iff some FD is violated.
+func TestCheckDocumentStreaming(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// Over-cap family: streaming check succeeds, tuple materialization refuses.
+	spec7 := write("wide7.spec", wideSpec(7))
+	doc7 := write("wide7.xml", wideDocXML(7, 8))
+	out, err := capture(t, func() error { return run([]string{"check", spec7, doc7}) })
+	if err != nil {
+		t.Fatalf("check over-cap doc: %v", err)
+	}
+	if !strings.Contains(out, "satisfies all 6 FD(s)") {
+		t.Fatalf("check over-cap doc: output %q", out)
+	}
+	if err := run([]string{"tuples", spec7, doc7}); err == nil || !strings.Contains(err.Error(), "tuples") {
+		t.Fatalf("tuples on the over-cap doc should hit the materialization cap, got %v", err)
+	}
+
+	// Violations: negative exit, witness printing, -parallel determinism.
+	spec2 := write("wide2.spec", wideSpec(2))
+	bad := write("bad.xml", `<r><c0 a0_0="x"/><c0 a0_0="x"/><c1 a1_0="p"/><c1 a1_0="q"/></r>`)
+	var outputs []string
+	for _, cfg := range [][]string{{"-parallel", "1"}, {"-parallel", "8"}, nil} {
+		args := append(append([]string{}, cfg...), "check", "-witness", spec2, bad)
+		out, err := capture(t, func() error { return run(args) })
+		if !errors.Is(err, errNegative) {
+			t.Fatalf("run(%v): err = %v, want negative result", args, err)
+		}
+		outputs = append(outputs, out)
+	}
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] != outputs[0] {
+			t.Fatalf("check -witness output differs across -parallel settings:\n--- a ---\n%s\n--- b ---\n%s",
+				outputs[0], outputs[i])
+		}
+	}
+	if !strings.Contains(outputs[0], "violates 1 of 1 FD(s)") ||
+		!strings.Contains(outputs[0], "witness tuple pair") ||
+		!strings.Contains(outputs[0], `"p" | "q"`) {
+		t.Fatalf("check -witness output %q", outputs[0])
+	}
+
+	// A satisfied small document: positive exit, no witness section.
+	good := write("good.xml", `<r><c0 a0_0="x"/><c1 a1_0="p"/><c1 a1_0="p"/></r>`)
+	out, err = capture(t, func() error { return run([]string{"check", spec2, good}) })
+	if err != nil {
+		t.Fatalf("check good doc: %v", err)
+	}
+	if !strings.Contains(out, "satisfies all 1 FD(s)") {
+		t.Fatalf("check good doc: output %q", out)
 	}
 }

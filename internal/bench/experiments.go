@@ -1006,6 +1006,7 @@ var registry = []struct {
 	{"E15", func(Options) (*Table, error) { return E15DesignStudies() }},
 	{"E16", E16EngineAblation},
 	{"E17", func(Options) (*Table, error) { return E17PathInterning() }},
+	{"E18", func(Options) (*Table, error) { return E18StreamingTuples() }},
 }
 
 // Run executes the selected experiments in suite order with the given

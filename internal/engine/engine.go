@@ -52,6 +52,12 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// WorkerCount resolves the effective worker count: Workers when
+// positive, GOMAXPROCS otherwise. Exported for callers that reuse the
+// engine's options to size other fan-outs (e.g. sharded document
+// checks).
+func (o Options) WorkerCount() int { return o.workers() }
+
 // Stats reports cache effectiveness counters.
 type Stats struct {
 	Hits   uint64 // queries answered from the cache

@@ -1,55 +1,12 @@
 package engine
 
-import (
-	"sync"
-	"sync/atomic"
-)
+import "xmlnorm/internal/pool"
 
 // forEach runs fn(i) for every i in [0, n) on up to workers goroutines
-// (errgroup-style, on the stdlib only) and returns the first error.
-// Indices are handed out through an atomic counter, so the pool
-// load-balances uneven work items. After an error no new index is
-// started; in-flight calls run to completion. With workers <= 1 the
-// loop is strictly sequential and stops at the first error.
+// and returns the first error. The implementation lives in
+// internal/pool so the sharded document checkers (internal/xfd) share
+// the same primitive without an import cycle; see pool.ForEach for the
+// scheduling and error semantics.
 func forEach(workers, n int, fn func(i int) error) error {
-	if n <= 0 {
-		return nil
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		next     atomic.Int64
-		failed   atomic.Bool
-		errOnce  sync.Once
-		firstErr error
-		wg       sync.WaitGroup
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
-					return
-				}
-				if err := fn(i); err != nil {
-					errOnce.Do(func() { firstErr = err })
-					failed.Store(true)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	return pool.ForEach(workers, n, fn)
 }

@@ -365,3 +365,42 @@ func FDStrings(fds []xfd.FD) string {
 	}
 	return b.String()
 }
+
+// RandomSimpleDTD builds a small random simple DTD — a root r with a
+// few children c<i>, each with a few EMPTY leaves l<i><j>, random
+// multiplicities and optional attributes — whose generated documents
+// stay small. The workhorse of the differential suites: small enough
+// for quadratic reference implementations, varied enough to hit every
+// multiplicity and ⊥ combination.
+func RandomSimpleDTD(rng *rand.Rand) *dtd.DTD {
+	mults := []string{"", "?", "+", "*"}
+	var b strings.Builder
+	nChildren := 1 + rng.Intn(2)
+	nLeaves := 1 + rng.Intn(2)
+	var rootParts []string
+	for c := 0; c < nChildren; c++ {
+		rootParts = append(rootParts, fmt.Sprintf("c%d%s", c, mults[rng.Intn(4)]))
+	}
+	fmt.Fprintf(&b, "<!ELEMENT r (%s)>\n", strings.Join(rootParts, ","))
+	for c := 0; c < nChildren; c++ {
+		var leafParts []string
+		for l := 0; l < nLeaves; l++ {
+			leafParts = append(leafParts, fmt.Sprintf("l%d%d%s", c, l, mults[rng.Intn(4)]))
+		}
+		fmt.Fprintf(&b, "<!ELEMENT c%d (%s)>\n", c, strings.Join(leafParts, ","))
+		if rng.Intn(2) == 0 {
+			fmt.Fprintf(&b, "<!ATTLIST c%d k CDATA #REQUIRED>\n", c)
+		}
+		for l := 0; l < nLeaves; l++ {
+			fmt.Fprintf(&b, "<!ELEMENT l%d%d EMPTY>\n", c, l)
+			if rng.Intn(2) == 0 {
+				fmt.Fprintf(&b, "<!ATTLIST l%d%d v CDATA #REQUIRED>\n", c, l)
+			}
+		}
+	}
+	d, err := dtd.Parse(b.String())
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

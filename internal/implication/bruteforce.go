@@ -11,6 +11,7 @@ import (
 	"xmlnorm/internal/dtd"
 	"xmlnorm/internal/paths"
 	"xmlnorm/internal/regex"
+	"xmlnorm/internal/tuples"
 	"xmlnorm/internal/xfd"
 	"xmlnorm/internal/xmltree"
 )
@@ -82,20 +83,16 @@ func BruteForceParallel(d *dtd.DTD, sigma []xfd.FD, q xfd.FD, bounds Bounds, wor
 	if d.IsRecursive() {
 		return Answer{}, fmt.Errorf("implication: brute force requires a non-recursive DTD")
 	}
-	// Compile every FD check once against the DTD's interned universe;
-	// the per-instance loop below runs them thousands of times per shape.
-	// Checkers are read-only and shared across the worker goroutines.
+	// Compile Σ ∪ {q} into one CheckerSet against the DTD's interned
+	// universe: every candidate instance is then decided by a single
+	// streaming walk instead of |Σ|+1 separate projections. The set is
+	// read-only and shared across the worker goroutines.
 	u, err := paths.New(d)
 	if err != nil {
 		return Answer{}, fmt.Errorf("implication: %v", err)
 	}
-	sigmaChecks := make([]*xfd.Checker, len(sigma))
-	for i, f := range sigma {
-		if sigmaChecks[i], err = xfd.NewChecker(u, f); err != nil {
-			return Answer{}, err
-		}
-	}
-	qCheck, err := xfd.NewChecker(u, q)
+	sigmaQ := append(append(make([]xfd.FD, 0, len(sigma)+1), sigma...), q)
+	checks, err := xfd.NewCheckerSet(u, sigmaQ)
 	if err != nil {
 		return Answer{}, err
 	}
@@ -114,7 +111,7 @@ func BruteForceParallel(d *dtd.DTD, sigma []xfd.FD, q xfd.FD, bounds Bounds, wor
 	if workers <= 1 {
 		for _, shape := range shapes {
 			tree := &xmltree.Tree{Root: shape}
-			found, err := searchValues(tree, d, sigmaChecks, qCheck, bounds, &checked)
+			found, err := searchValues(tree, d, checks, len(sigma), bounds, &checked)
 			if err != nil {
 				return Answer{}, err
 			}
@@ -149,7 +146,7 @@ func BruteForceParallel(d *dtd.DTD, sigma []xfd.FD, q xfd.FD, bounds Bounds, wor
 					continue
 				}
 				tree := &xmltree.Tree{Root: shapes[i].Clone()}
-				f, err := searchValues(tree, d, sigmaChecks, qCheck, bounds, &checked)
+				f, err := searchValues(tree, d, checks, len(sigma), bounds, &checked)
 				if err != nil {
 					errOnce.Do(func() { searchErr = err })
 					continue // a later shape may still hold a counterexample
@@ -358,10 +355,11 @@ type valueSlot struct {
 // searchValues enumerates value-equality patterns over the shape's
 // string positions and tests each instance. checked is the shared
 // MaxTrees budget, atomic so parallel shape searches draw from one
-// pool exactly like the sequential scan does. The FD checks arrive
-// precompiled (projection plans and resolved path IDs) and are shared
-// read-only across workers.
-func searchValues(tree *xmltree.Tree, d *dtd.DTD, sigmaChecks []*xfd.Checker, qCheck *xfd.Checker, bounds Bounds, checked *atomic.Int64) (*xmltree.Tree, error) {
+// pool exactly like the sequential scan does. checks is Σ followed by
+// q compiled into one CheckerSet (nSigma = |Σ|), so each instance is
+// decided — all of Σ satisfied, q violated — in one streaming walk;
+// the set arrives precompiled and is shared read-only across workers.
+func searchValues(tree *xmltree.Tree, d *dtd.DTD, checks *xfd.CheckerSet, nSigma int, bounds Bounds, checked *atomic.Int64) (*xmltree.Tree, error) {
 	groups := map[string][]valueSlot{}
 	var order []string
 	tree.Walk(func(n *xmltree.Node, path []string) bool {
@@ -407,14 +405,19 @@ func searchValues(tree *xmltree.Tree, d *dtd.DTD, sigmaChecks []*xfd.Checker, qC
 			if err := xmltree.Conforms(tree, d); err != nil {
 				return nil, nil // shape bug; skip defensively
 			}
-			ok := true
-			for _, c := range sigmaChecks {
-				if !c.Satisfies(tree) {
-					ok = false
-					break
+			// One walk decides the whole candidate: abort on any Σ
+			// violation (the instance satisfies Σ or it is worthless),
+			// and remember whether q was violated.
+			sigmaOK, qViolated := true, false
+			checks.Check(tree, func(i int, _ [2]tuples.Tuple) bool {
+				if i < nSigma {
+					sigmaOK = false
+					return false
 				}
-			}
-			if ok && !qCheck.Satisfies(tree) {
+				qViolated = true
+				return true
+			})
+			if sigmaOK && qViolated {
 				return tree.Clone(), nil
 			}
 			return nil, nil

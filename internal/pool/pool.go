@@ -1,0 +1,61 @@
+// Package pool provides the worker-pool primitive shared by the
+// implication engine's batch operations and the sharded document
+// checkers: a bounded parallel for-each over an index range, on the
+// stdlib only. It lives below every other internal package so that
+// both internal/engine and internal/xfd can fan work out without an
+// import cycle.
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines
+// (errgroup-style) and returns the first error. Indices are handed out
+// through an atomic counter, so the pool load-balances uneven work
+// items. After an error no new index is started; in-flight calls run to
+// completion. With workers <= 1 the loop is strictly sequential and
+// stops at the first error.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

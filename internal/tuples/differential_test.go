@@ -122,41 +122,6 @@ func refSatisfies(tups []map[string]string, f xfd.FD) bool {
 	return true
 }
 
-// randomDTD builds a small random simple DTD (root, children, leaves,
-// random multiplicities and attributes) whose documents stay small.
-func randomDTD(rng *rand.Rand) *dtd.DTD {
-	mults := []string{"", "?", "+", "*"}
-	var b strings.Builder
-	nChildren := 1 + rng.Intn(2)
-	nLeaves := 1 + rng.Intn(2)
-	var rootParts []string
-	for c := 0; c < nChildren; c++ {
-		rootParts = append(rootParts, fmt.Sprintf("c%d%s", c, mults[rng.Intn(4)]))
-	}
-	fmt.Fprintf(&b, "<!ELEMENT r (%s)>\n", strings.Join(rootParts, ","))
-	for c := 0; c < nChildren; c++ {
-		var leafParts []string
-		for l := 0; l < nLeaves; l++ {
-			leafParts = append(leafParts, fmt.Sprintf("l%d%d%s", c, l, mults[rng.Intn(4)]))
-		}
-		fmt.Fprintf(&b, "<!ELEMENT c%d (%s)>\n", c, strings.Join(leafParts, ","))
-		if rng.Intn(2) == 0 {
-			fmt.Fprintf(&b, "<!ATTLIST c%d k CDATA #REQUIRED>\n", c)
-		}
-		for l := 0; l < nLeaves; l++ {
-			fmt.Fprintf(&b, "<!ELEMENT l%d%d EMPTY>\n", c, l)
-			if rng.Intn(2) == 0 {
-				fmt.Fprintf(&b, "<!ATTLIST l%d%d v CDATA #REQUIRED>\n", c, l)
-			}
-		}
-	}
-	d, err := dtd.Parse(b.String())
-	if err != nil {
-		panic(err)
-	}
-	return d
-}
-
 // TestDifferentialAgainstStringReference runs ≥1000 random (DTD,
 // document) instances and checks, per instance:
 //
@@ -170,7 +135,7 @@ func TestDifferentialAgainstStringReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(20020603))
 	instances := 0
 	for instances < 1000 {
-		d := randomDTD(rng)
+		d := gen.RandomSimpleDTD(rng)
 		doc, err := gen.Document(d, rng, 2, 3)
 		if err != nil {
 			t.Fatalf("gen.Document: %v", err)

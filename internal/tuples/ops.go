@@ -26,12 +26,21 @@ func CountTuples(t *xmltree.Tree, cap int) int {
 	count = func(n *xmltree.Node) int {
 		total := 1
 		for _, group := range childGroups(n) {
+			// Saturating arithmetic throughout: with a caller-supplied cap
+			// near MaxInt the raw sum or product could wrap past MaxInt
+			// *before* the cap comparison, so clamp each operation at cap
+			// instead of comparing afterwards.
 			sub := 0
 			for _, c := range group {
-				sub += count(c)
-				if sub >= cap {
+				k := count(c)
+				if k >= cap-sub {
 					return cap
 				}
+				sub += k
+			}
+			// sub ≥ 1: groups are non-empty and count never returns 0.
+			if total > cap/sub {
+				return cap
 			}
 			total *= sub
 			if total >= cap {
@@ -486,17 +495,33 @@ func (pr *Projector) Of(t *xmltree.Tree) []Tuple {
 // prefix closure of the paths); callers that hold a DTD universe should
 // compile a Projector against it instead and reuse it across trees.
 func Projections(t *xmltree.Tree, ps []dtd.Path) []Tuple {
+	ts, err := ProjectionsErr(t, ps)
+	if err != nil {
+		return nil
+	}
+	return ts
+}
+
+// ProjectionsErr is Projections with the failure modes reported instead
+// of swallowed: an empty query path, a path that does not start at the
+// tree's root label, or a projector compilation failure each return a
+// descriptive error, so callers can tell "no tuples" (an empty slice,
+// nil error) from "the query was malformed" (a non-nil error).
+func ProjectionsErr(t *xmltree.Tree, ps []dtd.Path) ([]Tuple, error) {
 	for _, p := range ps {
-		if len(p) == 0 || p[0] != t.Root.Label {
-			return nil
+		if len(p) == 0 {
+			return nil, fmt.Errorf("tuples: empty query path")
+		}
+		if p[0] != t.Root.Label {
+			return nil, fmt.Errorf("tuples: query path %q does not start at the root label %q", p, t.Root.Label)
 		}
 	}
 	u := paths.ForQuery(ps)
 	pr, err := NewProjector(u, ps)
 	if err != nil {
-		return nil
+		return nil, err
 	}
-	return pr.Of(t)
+	return pr.Of(t), nil
 }
 
 // dedup removes duplicate tuples, keeping first occurrences, using the

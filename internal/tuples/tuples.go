@@ -231,6 +231,13 @@ func (t Tuple) appendKey(dst []byte) []byte {
 	return dst
 }
 
+// AppendKey appends an unambiguous binary encoding of the tuple (path
+// ID set plus values in ID order) to dst: two tuples over the same
+// universe append equal keys iff they are Equal. The cheap way to key
+// a hash map by tuple (FD groups, dedup, differential comparisons) —
+// Canonical is the human-readable, universe-independent alternative.
+func (t Tuple) AppendKey(dst []byte) []byte { return t.appendKey(dst) }
+
 // LE reports t ⊑ o: whenever t.p is non-null, o.p equals it. Tuples
 // over the same universe compare by ID; otherwise values are matched
 // through the path strings.

@@ -1,0 +1,495 @@
+package xfd
+
+// CheckerSet decides T ⊨ Σ for a whole FD set in a minimal number of
+// streaming tree walks. The per-FD Checker (xfd.go) already avoids
+// materializing the full tuple set, but checking |Σ| dependencies that
+// way walks the document |Σ| times and re-projects overlapping paths.
+// A CheckerSet partitions Σ into clusters of FDs whose paths share
+// document branches (connected components over common second path
+// steps), compiles one union projection per cluster, streams its
+// tuples once (tuples.Projector.Stream — no cross product, no
+// MaxTuples ceiling), and folds every tuple into one LHS-key hash map
+// per FD, short-circuiting each FD at its first conflict and each walk
+// once all of its FDs are decided. Overlapping FDs (the common case: a
+// spec's dependencies concentrate on a few subtrees) are thus decided
+// in ONE walk, while FDs over disjoint branches keep separate
+// projections — a union projection across disjoint branches would
+// multiply their choice points instead of adding them. A sharded mode
+// fans the top-level sibling choices of the root out to the shared
+// worker pool (internal/pool) and merges the per-shard group maps; RHS
+// agreement is an equivalence relation, so comparing per-key shard
+// representatives is sound.
+
+import (
+	"fmt"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/paths"
+	"xmlnorm/internal/pool"
+	"xmlnorm/internal/tuples"
+	"xmlnorm/internal/xmltree"
+)
+
+// compiledFD is one FD of the set with its sides pre-resolved to path
+// IDs and its common root label (the shared first step of all its
+// paths; "" when the first steps are mixed, which makes the FD
+// trivially satisfied on every document — no tree has two root labels,
+// so its projection is always empty).
+type compiledFD struct {
+	fd   FD
+	lhs  []paths.ID
+	rhs  []paths.ID
+	root string
+}
+
+// cluster bundles FDs with a common root label whose paths are
+// connected through shared second steps, plus the union projector that
+// feeds all of them. A document with that root label is checked
+// against the cluster in a single stream; on any other document the
+// cluster's FDs are vacuously satisfied.
+type cluster struct {
+	label string
+	pr    *tuples.Projector
+	fds   []int // indices into CheckerSet.fds, in Σ order
+}
+
+// CheckerSet is a compiled satisfaction check for a whole FD set over
+// one path universe. Build once, reuse across trees: a CheckerSet is
+// read-only after construction and safe for concurrent use.
+type CheckerSet struct {
+	fds      []compiledFD
+	clusters []cluster
+}
+
+// NewCheckerSet compiles sigma against the universe. Every path of
+// every FD must be interned in the universe.
+func NewCheckerSet(u *paths.Universe, sigma []FD) (*CheckerSet, error) {
+	cs := &CheckerSet{fds: make([]compiledFD, 0, len(sigma))}
+	for _, f := range sigma {
+		cf := compiledFD{fd: f}
+		for i, p := range f.Paths() {
+			if i == 0 {
+				cf.root = p[0]
+			} else if p[0] != cf.root {
+				cf.root = "" // mixed first steps: trivially satisfied
+				break
+			}
+		}
+		if cf.root != "" {
+			for _, p := range f.LHS {
+				id, ok := u.Lookup(p)
+				if !ok {
+					return nil, fmt.Errorf("xfd: %s: %q is not in the path universe", f, p)
+				}
+				cf.lhs = append(cf.lhs, id)
+			}
+			for _, p := range f.RHS {
+				id, ok := u.Lookup(p)
+				if !ok {
+					return nil, fmt.Errorf("xfd: %s: %q is not in the path universe", f, p)
+				}
+				cf.rhs = append(cf.rhs, id)
+			}
+		}
+		cs.fds = append(cs.fds, cf)
+	}
+	if err := cs.buildClusters(u); err != nil {
+		return nil, err
+	}
+	return cs, nil
+}
+
+// buildClusters partitions the applicable FDs into connected
+// components: two FDs land in one cluster iff they have the same root
+// label and their path sets are linked (transitively) through a shared
+// second step. Sharing any deeper branch implies sharing the whole
+// prefix including the second step, so second-step components are
+// exactly the FD groups whose union projection opens no choice point
+// that only one side needs.
+func (cs *CheckerSet) buildClusters(u *paths.Universe) error {
+	parent := make([]int, len(cs.fds))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(i int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		if ra, rb := find(a), find(b); ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra // lowest Σ index wins: deterministic order
+		}
+	}
+	bySecond := map[[2]string]int{} // (root label, second step) -> first FD index
+	for i := range cs.fds {
+		cf := &cs.fds[i]
+		if cf.root == "" {
+			continue
+		}
+		for _, p := range cf.fd.Paths() {
+			if len(p) < 2 {
+				continue
+			}
+			key := [2]string{cf.root, p[1]}
+			if first, ok := bySecond[key]; ok {
+				union(i, first)
+			} else {
+				bySecond[key] = i
+			}
+		}
+	}
+	clusterOf := map[int]int{} // representative FD index -> cluster index
+	unionPaths := map[int][]dtd.Path{}
+	seen := map[int]map[string]bool{}
+	for i := range cs.fds {
+		cf := &cs.fds[i]
+		if cf.root == "" {
+			continue
+		}
+		r := find(i)
+		ci, ok := clusterOf[r]
+		if !ok {
+			ci = len(cs.clusters)
+			clusterOf[r] = ci
+			cs.clusters = append(cs.clusters, cluster{label: cf.root})
+			seen[ci] = map[string]bool{}
+		}
+		cs.clusters[ci].fds = append(cs.clusters[ci].fds, i)
+		for _, p := range cf.fd.Paths() {
+			s := p.String()
+			if !seen[ci][s] {
+				seen[ci][s] = true
+				unionPaths[ci] = append(unionPaths[ci], p)
+			}
+		}
+	}
+	for ci := range cs.clusters {
+		pr, err := tuples.NewProjector(u, unionPaths[ci])
+		if err != nil {
+			return fmt.Errorf("xfd: checker set: %v", err)
+		}
+		cs.clusters[ci].pr = pr
+	}
+	return nil
+}
+
+// Len returns the number of FDs in the set.
+func (cs *CheckerSet) Len() int { return len(cs.fds) }
+
+// FDAt returns the i-th compiled dependency (Σ order).
+func (cs *CheckerSet) FDAt(i int) FD { return cs.fds[i].fd }
+
+// Check decides every FD of the set against the document, one
+// streaming walk per cluster of branch-sharing FDs (a single walk when
+// all of Σ overlaps). Each violated FD is reported exactly once
+// through onViolation with its index into the set (Σ order) and a
+// witness pair of projected tuples that agree on the FD's LHS
+// (non-null) but differ on its RHS — the first such conflict in
+// enumeration order, matching what the per-FD Checker.Violation
+// returns. Violations are reported in discovery order, which
+// interleaves FDs; onViolation returning false aborts the whole check
+// (remaining FDs stay unreported). onViolation may be nil. Each walk
+// short-circuits as soon as all of its cluster's FDs are decided.
+func (cs *CheckerSet) Check(t *xmltree.Tree, onViolation func(i int, witness [2]tuples.Tuple) bool) {
+	for ci := range cs.clusters {
+		cl := &cs.clusters[ci]
+		if cl.label != t.Root.Label {
+			continue
+		}
+		if aborted := cs.checkCluster(cl, t, nil, onViolation); aborted {
+			return
+		}
+	}
+}
+
+// checkCluster is the sequential streaming core of Check, restricted
+// to one cluster's FDs. A non-nil only set further restricts the check
+// to those FD indices (used by the sharded mode to re-derive
+// deterministic witnesses for the FDs its verdict pass found
+// violated). It reports whether onViolation aborted the walk.
+func (cs *CheckerSet) checkCluster(cl *cluster, t *xmltree.Tree, only map[int]bool, onViolation func(i int, witness [2]tuples.Tuple) bool) (aborted bool) {
+	type fdState struct {
+		groups   map[string]tuples.Tuple // LHS key -> first tuple of the group (cloned)
+		violated bool
+	}
+	states := make([]fdState, len(cl.fds))
+	remaining := 0
+	for li, fi := range cl.fds {
+		if only != nil && !only[fi] {
+			states[li].violated = true // excluded: pretend decided
+			continue
+		}
+		states[li].groups = make(map[string]tuples.Tuple)
+		remaining++
+	}
+	if remaining == 0 {
+		return false
+	}
+	var buf []byte
+	cl.pr.Stream(t, func(tup tuples.Tuple) bool {
+		for li, fi := range cl.fds {
+			st := &states[li]
+			if st.violated {
+				continue
+			}
+			cf := &cs.fds[fi]
+			key, ok := lhsKey(tup, cf.lhs, buf[:0])
+			buf = key
+			if !ok {
+				continue // some LHS value is ⊥: the FD does not apply
+			}
+			first, seen := st.groups[string(key)]
+			if !seen {
+				// The stream reuses its scratch tuple; clone what we keep.
+				st.groups[string(key)] = tup.Clone()
+				continue
+			}
+			if sameRHS(first, tup, cf.rhs) {
+				continue
+			}
+			st.violated = true
+			remaining--
+			if onViolation != nil && !onViolation(fi, [2]tuples.Tuple{first, tup.Clone()}) {
+				aborted = true
+				return false
+			}
+		}
+		return remaining > 0
+	})
+	return aborted
+}
+
+// SatisfiesAll checks T ⊨ Σ, stopping at the first violation.
+func (cs *CheckerSet) SatisfiesAll(t *xmltree.Tree) bool {
+	ok := true
+	cs.Check(t, func(int, [2]tuples.Tuple) bool {
+		ok = false
+		return false
+	})
+	return ok
+}
+
+// Violations checks every FD and returns the violated ones with
+// witnesses, in Σ order. A valid document yields nil.
+func (cs *CheckerSet) Violations(t *xmltree.Tree) []Violated {
+	witnesses := make(map[int][2]tuples.Tuple)
+	cs.Check(t, func(i int, w [2]tuples.Tuple) bool {
+		witnesses[i] = w
+		return true
+	})
+	return cs.report(witnesses)
+}
+
+func (cs *CheckerSet) report(witnesses map[int][2]tuples.Tuple) []Violated {
+	var out []Violated
+	for i := range cs.fds {
+		if w, ok := witnesses[i]; ok {
+			out = append(out, Violated{FD: cs.fds[i].fd, Witness: w})
+		}
+	}
+	return out
+}
+
+// shardTrees splits the document across the root's children labelled
+// label: shard i sees child i of that label plus every child of every
+// other label, so each relevant sibling group other than label's is
+// intact and label's group is pinned to one choice. The union of the
+// shards' projection streams is exactly the full projection stream
+// (each projection makes one choice in label's group). Shard roots are
+// shallow copies sharing the original's ID, attributes and child
+// nodes, so shards are safe to stream concurrently as long as nothing
+// mutates the tree.
+func shardTrees(t *xmltree.Tree, label string) []*xmltree.Tree {
+	var mine, others []*xmltree.Node
+	for _, c := range t.Root.Children {
+		if c.Label == label {
+			mine = append(mine, c)
+		} else {
+			others = append(others, c)
+		}
+	}
+	shards := make([]*xmltree.Tree, len(mine))
+	for i, c := range mine {
+		root := &xmltree.Node{
+			ID:      t.Root.ID,
+			Label:   t.Root.Label,
+			Attrs:   t.Root.Attrs,
+			Text:    t.Root.Text,
+			HasText: t.Root.HasText,
+		}
+		root.Children = make([]*xmltree.Node, 0, 1+len(others))
+		root.Children = append(append(root.Children, c), others...)
+		shards[i] = &xmltree.Tree{Root: root}
+	}
+	return shards
+}
+
+// shardLabel picks the sibling-group label to shard on: the relevant
+// root choice label with the most children in the document (ties: plan
+// order). Returns "" when no relevant label has at least two children
+// — there is nothing to fan out then.
+func shardLabel(cl *cluster, t *xmltree.Tree) string {
+	counts := make(map[string]int, 4)
+	for _, c := range t.Root.Children {
+		counts[c.Label]++
+	}
+	best, bestN := "", 1
+	for _, label := range cl.pr.RootChoiceLabels() {
+		if n := counts[label]; n > bestN {
+			best, bestN = label, n
+		}
+	}
+	return best
+}
+
+// shardVerdict runs the parallel verdict pass for one cluster: which
+// of its FDs does the document violate? Each shard folds its stream
+// into per-FD group maps; the sequential merge then detects
+// cross-shard conflicts. Because within a violation-free shard every
+// tuple of an LHS group RHS-agrees with the shard's stored
+// representative, and RHS agreement is transitive, comparing
+// representatives across shards decides exactly the conflicts the
+// sequential pass would find. Returns (nil, false) when sharding is
+// not applicable (too few shards or workers) — the caller falls back
+// to the sequential path.
+func (cs *CheckerSet) shardVerdict(cl *cluster, t *xmltree.Tree, workers int) (bad map[int]bool, ok bool) {
+	if workers <= 1 {
+		return nil, false
+	}
+	label := shardLabel(cl, t)
+	if label == "" {
+		return nil, false
+	}
+	shards := shardTrees(t, label)
+	type shardRes struct {
+		groups   []map[string]tuples.Tuple // per local FD: LHS key -> representative
+		violated []bool
+	}
+	results := make([]*shardRes, len(shards))
+	pool.ForEach(workers, len(shards), func(s int) error {
+		res := &shardRes{
+			groups:   make([]map[string]tuples.Tuple, len(cl.fds)),
+			violated: make([]bool, len(cl.fds)),
+		}
+		for li := range cl.fds {
+			res.groups[li] = make(map[string]tuples.Tuple)
+		}
+		remaining := len(cl.fds)
+		var buf []byte
+		cl.pr.Stream(shards[s], func(tup tuples.Tuple) bool {
+			for li, fi := range cl.fds {
+				if res.violated[li] {
+					continue
+				}
+				cf := &cs.fds[fi]
+				key, ok := lhsKey(tup, cf.lhs, buf[:0])
+				buf = key
+				if !ok {
+					continue
+				}
+				first, seen := res.groups[li][string(key)]
+				if !seen {
+					res.groups[li][string(key)] = tup.Clone()
+					continue
+				}
+				if !sameRHS(first, tup, cf.rhs) {
+					res.violated[li] = true
+					remaining--
+				}
+			}
+			return remaining > 0
+		})
+		results[s] = res
+		return nil
+	})
+	bad = make(map[int]bool)
+merge:
+	for li, fi := range cl.fds {
+		cf := &cs.fds[fi]
+		merged := make(map[string]tuples.Tuple)
+		for _, res := range results {
+			if res.violated[li] {
+				bad[fi] = true
+				continue merge
+			}
+			for key, rep := range res.groups[li] {
+				first, seen := merged[key]
+				if !seen {
+					merged[key] = rep
+					continue
+				}
+				if !sameRHS(first, rep, cf.rhs) {
+					bad[fi] = true
+					continue merge
+				}
+			}
+		}
+	}
+	return bad, true
+}
+
+// violatedSharded collects the violated FD indices across all clusters
+// applicable to the document, sharding each cluster's verdict pass
+// over up to workers goroutines (clusters with nothing to fan out run
+// sequentially).
+func (cs *CheckerSet) violatedSharded(t *xmltree.Tree, workers int) map[int]bool {
+	all := make(map[int]bool)
+	for ci := range cs.clusters {
+		cl := &cs.clusters[ci]
+		if cl.label != t.Root.Label {
+			continue
+		}
+		if bad, ok := cs.shardVerdict(cl, t, workers); ok {
+			for fi := range bad {
+				all[fi] = true
+			}
+			continue
+		}
+		cs.checkCluster(cl, t, nil, func(i int, _ [2]tuples.Tuple) bool {
+			all[i] = true
+			return true
+		})
+	}
+	return all
+}
+
+// SatisfiesAllSharded is SatisfiesAll with each cluster's verdict pass
+// fanned out over the root's top-level sibling choices on up to
+// workers goroutines (workers <= 1, or a document with nothing to fan
+// out, falls back to the sequential walk). The verdict is identical to
+// SatisfiesAll's.
+func (cs *CheckerSet) SatisfiesAllSharded(t *xmltree.Tree, workers int) bool {
+	return len(cs.violatedSharded(t, workers)) == 0
+}
+
+// ViolationsSharded is Violations with each cluster's verdict pass
+// sharded across up to workers goroutines. Witnesses are then
+// re-derived by sequential streams restricted to the violated FDs, so
+// the report — witnesses included — is identical to Violations'
+// regardless of worker count or scheduling. Documents that satisfy Σ
+// (the common case) never pay for the witness pass.
+func (cs *CheckerSet) ViolationsSharded(t *xmltree.Tree, workers int) []Violated {
+	bad := cs.violatedSharded(t, workers)
+	if len(bad) == 0 {
+		return nil
+	}
+	witnesses := make(map[int][2]tuples.Tuple, len(bad))
+	for ci := range cs.clusters {
+		cl := &cs.clusters[ci]
+		if cl.label != t.Root.Label {
+			continue
+		}
+		cs.checkCluster(cl, t, bad, func(i int, w [2]tuples.Tuple) bool {
+			witnesses[i] = w
+			return true
+		})
+	}
+	return cs.report(witnesses)
+}

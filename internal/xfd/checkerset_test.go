@@ -1,0 +1,257 @@
+package xfd_test
+
+// Differential suite for the batched streaming checker: CheckerSet
+// must agree with a quadratic pairwise reference over the materialized
+// maximal tuples — verdict per FD, violated set, witness validity —
+// and the sharded mode must reproduce the sequential report bit for
+// bit. Run under -race in CI, so the sharded fan-out is also a
+// concurrency test.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/gen"
+	"xmlnorm/internal/paths"
+	"xmlnorm/internal/tuples"
+	"xmlnorm/internal/xfd"
+	"xmlnorm/internal/xmltree"
+)
+
+// refSatisfies is the pairwise Definition-of-satisfaction reference
+// over materialized maximal tuples: no two tuples may agree non-null
+// on every LHS path yet disagree (⊥ vs value, or value vs value) on
+// some RHS path.
+func refSatisfies(ts []tuples.Tuple, u *paths.Universe, f xfd.FD) bool {
+	lhs := make([]paths.ID, len(f.LHS))
+	for i, p := range f.LHS {
+		lhs[i] = u.MustLookup(p)
+	}
+	rhs := make([]paths.ID, len(f.RHS))
+	for i, p := range f.RHS {
+		rhs[i] = u.MustLookup(p)
+	}
+	for i := 0; i < len(ts); i++ {
+	pair:
+		for j := i + 1; j < len(ts); j++ {
+			for _, id := range lhs {
+				av, aok := ts[i].GetID(id)
+				bv, bok := ts[j].GetID(id)
+				if !aok || !bok || !av.Equal(bv) {
+					continue pair
+				}
+			}
+			for _, id := range rhs {
+				av, aok := ts[i].GetID(id)
+				bv, bok := ts[j].GetID(id)
+				if aok != bok || (aok && !av.Equal(bv)) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// checkWitness fails the test unless the witness pair really violates
+// the FD: agreement with non-null values on every LHS path, a
+// disagreement on some RHS path.
+func checkWitness(t *testing.T, v xfd.Violated, context string) {
+	t.Helper()
+	a, b := v.Witness[0], v.Witness[1]
+	for _, p := range v.FD.LHS {
+		av, aok := a.Get(p)
+		bv, bok := b.Get(p)
+		if !aok || !bok || !av.Equal(bv) {
+			t.Fatalf("%s: witness pair for %s does not agree non-null on LHS %s", context, v.FD, p)
+		}
+	}
+	for _, p := range v.FD.RHS {
+		av, aok := a.Get(p)
+		bv, bok := b.Get(p)
+		if aok != bok || (aok && !av.Equal(bv)) {
+			return // found the RHS disagreement
+		}
+	}
+	t.Fatalf("%s: witness pair for %s agrees on the whole RHS", context, v.FD)
+}
+
+// sameReports fails unless the two violation reports are identical:
+// same FDs in the same order with binary-identical witness tuples.
+func sameReports(t *testing.T, seq, shard []xfd.Violated, context string) {
+	t.Helper()
+	if len(seq) != len(shard) {
+		t.Fatalf("%s: sequential report has %d violations, sharded %d", context, len(seq), len(shard))
+	}
+	var ka, kb []byte
+	for i := range seq {
+		if !seq[i].FD.Equal(shard[i].FD) {
+			t.Fatalf("%s: violation %d: FD %s vs %s", context, i, seq[i].FD, shard[i].FD)
+		}
+		for w := 0; w < 2; w++ {
+			ka = seq[i].Witness[w].AppendKey(ka[:0])
+			kb = shard[i].Witness[w].AppendKey(kb[:0])
+			if !bytes.Equal(ka, kb) {
+				t.Fatalf("%s: violation %d witness %d differs:\n seq   %s\n shard %s",
+					context, i, w, seq[i].Witness[w].Canonical(), shard[i].Witness[w].Canonical())
+			}
+		}
+	}
+}
+
+// TestCheckerSetDifferential runs ≥1000 random (DTD, document, σ)
+// instances and checks, per instance:
+//
+//   - CheckerSet.SatisfiesAll and the package SatisfiesAll agree with
+//     the pairwise reference over materialized tuples;
+//   - Violations reports exactly the reference's violated FDs, in Σ
+//     order, each with a witness pair that really violates its FD;
+//   - the sharded mode (4 workers) reproduces the sequential verdict
+//     and the sequential report bit for bit.
+func TestCheckerSetDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20020606))
+	instances := 0
+	for instances < 1000 {
+		d := gen.RandomSimpleDTD(rng)
+		doc, err := gen.Document(d, rng, 2, 3)
+		if err != nil {
+			t.Fatalf("gen.Document: %v", err)
+		}
+		if tuples.CountTuples(doc, 0) > 2000 {
+			continue
+		}
+		instances++
+		u, err := paths.New(d)
+		if err != nil {
+			t.Fatalf("paths.New: %v", err)
+		}
+		ts, err := tuples.TuplesOf(u, doc, 0)
+		if err != nil {
+			t.Fatalf("TuplesOf: %v", err)
+		}
+		all, err := d.Paths()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigma := make([]xfd.FD, 3)
+		for k := range sigma {
+			var f xfd.FD
+			for j := 0; j < 1+rng.Intn(2); j++ {
+				f.LHS = append(f.LHS, all[rng.Intn(len(all))])
+			}
+			f.RHS = []dtd.Path{all[rng.Intn(len(all))]}
+			sigma[k] = f
+		}
+		wantBad := map[int]bool{}
+		allOK := true
+		for k, f := range sigma {
+			if !refSatisfies(ts, u, f) {
+				wantBad[k] = true
+				allOK = false
+			}
+		}
+
+		cs, err := xfd.NewCheckerSet(u, sigma)
+		if err != nil {
+			t.Fatalf("NewCheckerSet: %v", err)
+		}
+		if got := cs.SatisfiesAll(doc); got != allOK {
+			t.Fatalf("instance %d: SatisfiesAll = %v, reference %v\nDTD:\n%s\ndoc:\n%s", instances, got, allOK, d, doc)
+		}
+		if got := xfd.SatisfiesAll(doc, sigma); got != allOK {
+			t.Fatalf("instance %d: package SatisfiesAll = %v, reference %v", instances, got, allOK)
+		}
+
+		seq := cs.Violations(doc)
+		if len(seq) != len(wantBad) {
+			t.Fatalf("instance %d: %d violations, reference %d\nDTD:\n%s\ndoc:\n%s", instances, len(seq), len(wantBad), d, doc)
+		}
+		// Σ order and the right FDs: walk sigma alongside the report.
+		ri := 0
+		for k, f := range sigma {
+			if !wantBad[k] {
+				continue
+			}
+			if !seq[ri].FD.Equal(f) {
+				t.Fatalf("instance %d: violation %d is %s, want %s (Σ order)", instances, ri, seq[ri].FD, f)
+			}
+			checkWitness(t, seq[ri], "sequential")
+			ri++
+		}
+
+		if got := cs.SatisfiesAllSharded(doc, 4); got != allOK {
+			t.Fatalf("instance %d: SatisfiesAllSharded = %v, reference %v\nDTD:\n%s\ndoc:\n%s", instances, got, allOK, d, doc)
+		}
+		sameReports(t, seq, cs.ViolationsSharded(doc, 4), "instance")
+	}
+}
+
+// TestCheckerSetTrivialCases pins the degenerate contracts: an FD with
+// mixed or mismatching first path steps never applies (no document has
+// two root labels), and a document with a foreign root label satisfies
+// every FD of the set.
+func TestCheckerSetTrivialCases(t *testing.T) {
+	doc, err := xmltree.ParseString("<r><c k=\"1\"/><c k=\"2\"/></r>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := xfd.New([]string{"r.c.@k"}, []string{"s.c"})
+	cs, err := xfd.NewCheckerSetFor([]xfd.FD{mixed})
+	if err != nil {
+		t.Fatalf("NewCheckerSetFor: %v", err)
+	}
+	if !cs.SatisfiesAll(doc) {
+		t.Fatal("mixed-root FD should be trivially satisfied")
+	}
+	foreign := xfd.New([]string{"s.c.@k"}, []string{"s.c"})
+	cs, err = xfd.NewCheckerSetFor([]xfd.FD{foreign})
+	if err != nil {
+		t.Fatalf("NewCheckerSetFor: %v", err)
+	}
+	if !cs.SatisfiesAll(doc) || cs.Violations(doc) != nil {
+		t.Fatal("a foreign-root FD should be vacuously satisfied on this document")
+	}
+	if !cs.SatisfiesAllSharded(doc, 4) {
+		t.Fatal("sharded verdict must agree on the vacuous case")
+	}
+}
+
+// TestCheckerSetShardedWideFanOut exercises the sharded path on a
+// document with a genuinely wide top-level sibling group, violated FD
+// included, so the witness re-derivation pass runs. Under -race this
+// doubles as the concurrency test for the shard fan-out.
+func TestCheckerSetShardedWideFanOut(t *testing.T) {
+	root := xmltree.NewNode("r")
+	for i := 0; i < 64; i++ {
+		c := xmltree.NewNode("c")
+		c.SetAttr("k", "key")       // one shared LHS group
+		if i == 37 {                // exactly one deviant RHS value
+			c.SetAttr("v", "other")
+		} else {
+			c.SetAttr("v", "same")
+		}
+		root.Children = append(root.Children, c)
+	}
+	doc := xmltree.NewTree(root)
+	sigma := []xfd.FD{
+		xfd.New([]string{"r.c.@k"}, []string{"r.c.@v"}), // violated by #37
+		xfd.New([]string{"r.c.@v"}, []string{"r.c.@k"}), // holds
+	}
+	cs, err := xfd.NewCheckerSetFor(sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := cs.Violations(doc)
+	if len(seq) != 1 || !seq[0].FD.Equal(sigma[0]) {
+		t.Fatalf("expected exactly the first FD violated, got %v", seq)
+	}
+	checkWitness(t, seq[0], "wide fan-out")
+	for _, workers := range []int{2, 4, 16} {
+		if cs.SatisfiesAllSharded(doc, workers) {
+			t.Fatalf("SatisfiesAllSharded(%d workers) = true on a violated document", workers)
+		}
+		sameReports(t, seq, cs.ViolationsSharded(doc, workers), "wide fan-out")
+	}
+}

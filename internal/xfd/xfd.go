@@ -307,28 +307,32 @@ func (c *Checker) Satisfies(t *xmltree.Tree) bool {
 }
 
 // Violation returns a witness pair of projected tuples violating the
-// FD, if any.
-func (c *Checker) Violation(t *xmltree.Tree) ([2]tuples.Tuple, bool) {
-	proj := c.pr.Of(t)
-	// Group by LHS values; within a group all RHS projections must agree.
-	groups := make(map[string]tuples.Tuple, len(proj))
+// FD, if any. The projections are streamed (tuples.Projector.Stream)
+// and folded into a map keyed by LHS values — within a group all RHS
+// projections must agree — so the check never materializes the tuple
+// product and stops at the first conflict.
+func (c *Checker) Violation(t *xmltree.Tree) (witness [2]tuples.Tuple, bad bool) {
+	groups := make(map[string]tuples.Tuple)
 	var buf []byte
-	for _, tup := range proj {
+	c.pr.Stream(t, func(tup tuples.Tuple) bool {
 		key, ok := lhsKey(tup, c.lhs, buf[:0])
-		if !ok {
-			continue // some LHS value is ⊥: the FD does not apply
-		}
 		buf = key
+		if !ok {
+			return true // some LHS value is ⊥: the FD does not apply
+		}
 		first, seen := groups[string(key)]
 		if !seen {
-			groups[string(key)] = tup
-			continue
+			// The stream reuses its scratch tuple; clone what we keep.
+			groups[string(key)] = tup.Clone()
+			return true
 		}
-		if !sameRHS(first, tup, c.rhs) {
-			return [2]tuples.Tuple{first, tup}, true
+		if sameRHS(first, tup, c.rhs) {
+			return true
 		}
-	}
-	return [2]tuples.Tuple{}, false
+		witness, bad = [2]tuples.Tuple{first, tup.Clone()}, true
+		return false
+	})
+	return witness, bad
 }
 
 // Satisfies checks T ⊨ f: for every pair of maximal tuples t1, t2 of T,
@@ -352,14 +356,36 @@ func Violation(t *xmltree.Tree, f FD) ([2]tuples.Tuple, bool) {
 	return c.Violation(t)
 }
 
-// SatisfiesAll checks T ⊨ Σ.
+// SatisfiesAll checks T ⊨ Σ in one streaming walk of the document
+// (see CheckerSet). Callers checking many trees against the same Σ
+// should compile a CheckerSet once instead.
 func SatisfiesAll(t *xmltree.Tree, sigma []FD) bool {
-	for _, f := range sigma {
-		if !Satisfies(t, f) {
-			return false
-		}
+	if len(sigma) == 0 {
+		return true
 	}
-	return true
+	cs, err := NewCheckerSet(sigmaUniverse(sigma), sigma)
+	if err != nil {
+		return true // unreachable: query universes intern all of Σ's paths
+	}
+	return cs.SatisfiesAll(t)
+}
+
+// sigmaUniverse interns the paths of a whole FD set into one query
+// universe.
+func sigmaUniverse(sigma []FD) *paths.Universe {
+	var ps []dtd.Path
+	for _, f := range sigma {
+		ps = append(ps, f.Paths()...)
+	}
+	return paths.ForQuery(ps)
+}
+
+// NewCheckerSetFor compiles sigma against a fresh query universe built
+// from its own paths — the one-shot convenience constructor. Callers
+// that already hold an interned universe (e.g. from paths.New on the
+// DTD) should use NewCheckerSet to share it.
+func NewCheckerSetFor(sigma []FD) (*CheckerSet, error) {
+	return NewCheckerSet(sigmaUniverse(sigma), sigma)
 }
 
 // lhsKey appends an unambiguous binary encoding of the tuple's LHS
@@ -440,15 +466,16 @@ type Violated struct {
 	Witness [2]tuples.Tuple
 }
 
-// ViolationReport checks every FD of Σ against the document and
-// returns the violated ones with witnesses. A valid document yields an
-// empty report.
+// ViolationReport checks every FD of Σ against the document in one
+// streaming walk (see CheckerSet) and returns the violated ones with
+// witnesses, in Σ order. A valid document yields an empty report.
 func ViolationReport(t *xmltree.Tree, sigma []FD) []Violated {
-	var out []Violated
-	for _, f := range sigma {
-		if pair, bad := Violation(t, f); bad {
-			out = append(out, Violated{FD: f, Witness: pair})
-		}
+	if len(sigma) == 0 {
+		return nil
 	}
-	return out
+	cs, err := NewCheckerSet(sigmaUniverse(sigma), sigma)
+	if err != nil {
+		return nil // unreachable: query universes intern all of Σ's paths
+	}
+	return cs.Violations(t)
 }

@@ -56,22 +56,27 @@ func MeasureRedundancy(s Spec, t *xmltree.Tree) (RedundancyReport, error) {
 		carriers := map[xmltree.NodeID]bool{}
 		groups := map[string]bool{}
 		var buf []byte
-		for _, tup := range pr.Of(t) {
+		// Stream the projections instead of materializing them: the
+		// aggregation is two set inserts per tuple, so the stream's
+		// (harmless) duplicates cost nothing and the tuple product is
+		// never built.
+		pr.Stream(t, func(tup tuples.Tuple) bool {
 			cv, ok := tup.GetID(carrierID)
 			if !ok {
-				continue
+				return true
 			}
 			if _, ok := tup.GetID(rhsID); !ok {
-				continue
+				return true
 			}
 			key, ok := lhsValueKey(tup, lhsIDs, buf[:0])
 			buf = key
 			if !ok {
-				continue
+				return true
 			}
 			carriers[cv.Node()] = true
 			groups[string(key)] = true
-		}
+			return true
+		})
 		r := FDRedundancy{
 			FD:          a.FD.String(),
 			Occurrences: len(carriers),

@@ -186,8 +186,37 @@ func Trivial(d *DTD, q FD) (bool, error) { return implication.Trivial(d, q) }
 // Satisfies checks T ⊨ q.
 func Satisfies(t *Tree, q FD) bool { return xfd.Satisfies(t, q) }
 
-// SatisfiesAll checks T ⊨ Σ.
+// SatisfiesAll checks T ⊨ Σ in one streaming walk of the document —
+// the tuple product is never materialized, so there is no cap on how
+// many maximal tuples T may have.
 func SatisfiesAll(t *Tree, sigma []FD) bool { return xfd.SatisfiesAll(t, sigma) }
+
+// Violated pairs a violated FD with a witness pair of tuple
+// projections that agree on its LHS but differ on its RHS.
+type Violated = xfd.Violated
+
+// Violations checks every FD of Σ against the document in one
+// streaming walk and returns the violated ones with first-conflict
+// witnesses, in Σ order. A valid document yields nil.
+func Violations(t *Tree, sigma []FD) []Violated {
+	return xfd.ViolationReport(t, sigma)
+}
+
+// ViolationsOpts is Violations with the verdict pass sharded across
+// the engine options' worker count (see xfd.CheckerSet): the root's
+// top-level sibling choices fan out to a worker pool, and witnesses
+// are re-derived sequentially for the violated FDs only, so the report
+// is identical to Violations' regardless of worker count.
+func ViolationsOpts(t *Tree, sigma []FD, eo EngineOptions) []Violated {
+	if len(sigma) == 0 {
+		return nil
+	}
+	cs, err := xfd.NewCheckerSetFor(sigma)
+	if err != nil {
+		return nil // unreachable: the query universe interns all of Σ's paths
+	}
+	return cs.ViolationsSharded(t, eo.WorkerCount())
+}
 
 // Conforms checks T ⊨ D; ConformsUnordered checks [T] ⊨ D.
 func Conforms(t *Tree, d *DTD) error { return xmltree.Conforms(t, d) }
