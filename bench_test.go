@@ -364,3 +364,18 @@ func BenchmarkE18_StreamingTuples(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE19_IncrementalChecking: per-edit Session re-validation vs
+// the full re-stream on the university family, insert/delete round
+// trips included. CI runs this with -count=3 and archives the
+// cmd/experiments JSON of the same sweep as the BENCH_incr.json
+// artifact. The table's verdict-identity and >= 10x speedup gates are
+// checked by the `cmd/experiments E19` CI step; here only hard errors
+// fail, so timing noise can't flake the bench job.
+func BenchmarkE19_IncrementalChecking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E19IncrementalChecking(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

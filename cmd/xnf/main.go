@@ -15,9 +15,12 @@
 //	xnf redundancy <spec> <doc.xml>  measure update-anomaly redundancy
 //	xnf transform <spec> <doc.xml>   normalize and migrate the document
 //	xnf validate <spec> <doc.xml>    conformance + FD satisfaction
+//	xnf watch <spec> <doc.xml>       apply an edit script, re-check incrementally
 //
 // A spec file is a DTD in <!ELEMENT>/<!ATTLIST> syntax, then a line
-// "%%", then one FD per line ("path, path -> path").
+// "%%", then one FD per line ("path, path -> path"). "check" and
+// "watch" accept "-" in place of <doc.xml> to read the document from
+// stdin.
 //
 // Global flags (before the subcommand) tune the implication engine:
 //
@@ -34,6 +37,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -61,7 +65,7 @@ func main() {
 var errNegative = errors.New("negative result")
 
 func usage() error {
-	return fmt.Errorf("usage: xnf [-parallel N] [-cache=BOOL] <check|normalize|implies|classify|tuples|redundancy|transform|validate|cover> ...")
+	return fmt.Errorf("usage: xnf [-parallel N] [-cache=BOOL] <check|normalize|implies|classify|tuples|redundancy|transform|validate|cover|watch> ...")
 }
 
 // engOpts is the engine configuration shared by all subcommands, set
@@ -100,6 +104,8 @@ func run(args []string) error {
 		return cmdValidate(rest)
 	case "cover":
 		return cmdCover(rest)
+	case "watch":
+		return cmdWatch(rest)
 	default:
 		return usage()
 	}
@@ -113,8 +119,17 @@ func loadSpec(path string) (xmlnorm.Spec, error) {
 	return xmlnorm.ParseSpec(string(b))
 }
 
+// loadDoc reads a document from a file, or from stdin when the path
+// is "-" (so pipelines can feed generated documents straight into
+// check/watch/validate without a temp file).
 func loadDoc(path string) (*xmlnorm.Tree, error) {
-	b, err := os.ReadFile(path)
+	var b []byte
+	var err error
+	if path == "-" {
+		b, err = io.ReadAll(os.Stdin)
+	} else {
+		b, err = os.ReadFile(path)
+	}
 	if err != nil {
 		return nil, err
 	}

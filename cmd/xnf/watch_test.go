@@ -1,0 +1,161 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xmlnorm"
+)
+
+// writeScript drops an edit script into the test's temp dir.
+func writeScript(t *testing.T, lines string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "script.txt")
+	if err := os.WriteFile(p, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// withStdin runs fn with os.Stdin fed from the given file.
+func withStdin(t *testing.T, path string, fn func() error) error {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	old := os.Stdin
+	os.Stdin = f
+	defer func() { os.Stdin = old }()
+	return fn()
+}
+
+func TestWatchCommand(t *testing.T) {
+	script := writeScript(t, `
+# break FD1, then heal it
+setattr courses.course[1] cno csc200
+setattr courses.course[1] cno mat100
+`)
+	out, err := capture(t, func() error {
+		return run([]string{"watch", td("courses.spec"), td("courses.xml"), script})
+	})
+	if err != nil {
+		t.Fatalf("watch: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"satisfies all 3 FD(s)",
+		"[1] setattr courses.course[1] cno csc200",
+		"+ courses.course.@cno -> courses.course",
+		"now violates 1 of 3 FD(s)",
+		"- courses.course.@cno -> courses.course",
+		"final after 2 edit(s): satisfies all 3 FD(s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWatchNegativeExit(t *testing.T) {
+	script := writeScript(t, "setattr courses.course[1] cno csc200\n")
+	out, err := capture(t, func() error {
+		return run([]string{"watch", td("courses.spec"), td("courses.xml"), script})
+	})
+	if !errors.Is(err, errNegative) {
+		t.Fatalf("a script ending violated must exit negative, got %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "final after 1 edit(s): violates 1 of 3 FD(s)") {
+		t.Errorf("output = %s", out)
+	}
+}
+
+func TestWatchInsertDeleteAndWitness(t *testing.T) {
+	script := writeScript(t, `
+insert courses.course.taken_by <student sno="st1"><name>Impostor</name></student>
+delete courses.course.taken_by.student[2]
+`)
+	out, err := capture(t, func() error {
+		return run([]string{"watch", "-witness", td("courses.spec"), td("courses.xml"), script})
+	})
+	if err != nil {
+		t.Fatalf("watch: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"inserted <student> as #",
+		"witness for courses.course.taken_by.student.@sno -> courses.course.taken_by.student.name.S",
+		`"Deere" | "Impostor"`,
+		"final after 2 edit(s): satisfies all 3 FD(s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWatchUnknownNodeIsTypedError(t *testing.T) {
+	script := writeScript(t, "delete #999999\n")
+	_, err := capture(t, func() error {
+		return run([]string{"watch", td("courses.spec"), td("courses.xml"), script})
+	})
+	if err == nil {
+		t.Fatal("editing an absent NodeID must fail")
+	}
+	var unknown *xmlnorm.UnknownNodeError
+	if !errors.As(err, &unknown) || unknown.ID != 999999 {
+		t.Fatalf("err = %v, want a wrapped UnknownNodeError for #999999", err)
+	}
+}
+
+func TestWatchBadSelectorAndUsage(t *testing.T) {
+	for _, lines := range []string{
+		"setattr courses.nothere[0] k v\n",
+		"setattr wrongroot k v\n",
+		"frobnicate courses\n",
+		"setattr courses\n",
+	} {
+		script := writeScript(t, lines)
+		if _, err := capture(t, func() error {
+			return run([]string{"watch", td("courses.spec"), td("courses.xml"), script})
+		}); err == nil {
+			t.Errorf("script %q should fail", strings.TrimSpace(lines))
+		}
+	}
+	if err := run([]string{"watch", td("courses.spec")}); err == nil {
+		t.Error("watch without a document should fail with usage")
+	}
+	if err := run([]string{"watch", td("courses.spec"), "-"}); err == nil {
+		t.Error("document and script both on stdin should fail")
+	}
+}
+
+func TestStdinDocuments(t *testing.T) {
+	// xnf check <spec> - reads the document from stdin.
+	out, err := capture(t, func() error {
+		return withStdin(t, td("courses.xml"), func() error {
+			return run([]string{"check", td("courses.spec"), "-"})
+		})
+	})
+	if err != nil {
+		t.Fatalf("check -: %v", err)
+	}
+	if !strings.Contains(out, "satisfies all 3 FD(s)") {
+		t.Errorf("output = %q", out)
+	}
+	// xnf watch <spec> - <script> reads the document from stdin.
+	script := writeScript(t, "verdict\n")
+	out, err = capture(t, func() error {
+		return withStdin(t, td("courses.xml"), func() error {
+			return run([]string{"watch", td("courses.spec"), "-", script})
+		})
+	})
+	if err != nil {
+		t.Fatalf("watch -: %v", err)
+	}
+	if !strings.Contains(out, "final after 0 edit(s): satisfies all 3 FD(s)") {
+		t.Errorf("output = %q", out)
+	}
+}

@@ -1,0 +1,212 @@
+package bench
+
+// E19: the incremental-checking ablation. A Session re-validates an
+// edit by retracting and re-asserting only the tuples whose spine
+// crosses the edited region, so the per-edit cost is bounded by the
+// edited subtree — not the document. The full-pass baseline re-streams
+// every tuple per edit. Both sides apply the edits through the same
+// Session (keeping one consistent tree), so the baseline column pays a
+// small incremental tax too; that bias works AGAINST the speedup
+// claim, never for it.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"xmlnorm/internal/gen"
+	"xmlnorm/internal/incremental"
+	"xmlnorm/internal/tuples"
+	"xmlnorm/internal/xfd"
+	"xmlnorm/internal/xmltree"
+)
+
+// reportsEqual compares two violation reports for bit-identity: same
+// FDs in the same order, binary-identical witness tuples.
+func reportsEqual(a, b []xfd.Violated) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var ka, kb []byte
+	for i := range a {
+		if !a[i].FD.Equal(b[i].FD) {
+			return false
+		}
+		for w := 0; w < 2; w++ {
+			ka = a[i].Witness[w].AppendKey(ka[:0])
+			kb = b[i].Witness[w].AppendKey(kb[:0])
+			if !bytes.Equal(ka, kb) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// e19Targets locates the edit targets in a university document, in
+// document order: the first name element of a student number that
+// enrolls in more than one course (so renaming it flips FD3), the
+// first student subtree, and the last taken_by element.
+func e19Targets(doc *xmltree.Tree) (name, student, takenBy *xmltree.Node) {
+	seen := map[string]bool{}
+	doc.Walk(func(n *xmltree.Node, _ []string) bool {
+		switch n.Label {
+		case "taken_by":
+			takenBy = n
+		case "student":
+			if student == nil {
+				student = n
+			}
+			sno := n.Attrs["sno"]
+			if seen[sno] && name == nil {
+				for _, c := range n.Children {
+					if c.Label == "name" {
+						name = c
+					}
+				}
+			}
+			seen[sno] = true
+		}
+		return true
+	})
+	return name, student, takenBy
+}
+
+// E19IncrementalChecking races per-edit Session re-validation against
+// a from-scratch CheckerSet pass on the university family. The gates
+// are the pipeline's acceptance criteria: the incremental report stays
+// bit-identical to the full pass (sequential and sharded) in both the
+// violated and the healed state, the edits actually flip the verdict,
+// and single-subtree edits on the largest document re-validate at
+// least 10x faster than the full re-stream.
+func E19IncrementalChecking() (*Table, error) {
+	spec, err := CoursesSpec()
+	if err != nil {
+		return nil, err
+	}
+	cs, err := xfd.NewCheckerSetFor(spec.FDs)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "E19",
+		Title:  "Incremental checking: Session edit deltas vs full re-stream",
+		Claim:  "re-validating an edit costs the edited region, not the document; verdicts and witnesses stay bit-identical to the full pass",
+		Header: Row{"courses", "tuples", "build ms", "settext inc ms", "settext full ms", "speedup", "ins+del inc ms", "ins+del full ms", "agree"},
+	}
+	const studentsPer = 8
+	sizes := []int{64, 256, 1024}
+	for _, courses := range sizes {
+		rng := rand.New(rand.NewSource(int64(courses)))
+		pool := courses * studentsPer / 2
+		doc := gen.University(courses, studentsPer, pool, pool/3+1, rng)
+		nTuples := tuples.CountTuples(doc, 0)
+
+		buildT, err := timeIt(func() error {
+			_, err := incremental.New(cs, doc)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		s, err := incremental.New(cs, doc)
+		if err != nil {
+			return nil, err
+		}
+		t.Expect(s.Satisfied(), "E19 %d courses: generated document must satisfy Σ", courses)
+
+		name, student, takenBy := e19Targets(doc)
+		if name == nil || student == nil || takenBy == nil {
+			return nil, fmt.Errorf("E19 %d courses: no repeated student number in the generated document", courses)
+		}
+		orig := name.Text
+		vals := []string{"E19-a", "E19-b", orig}
+
+		// Single-subtree text edits: break FD3, break it differently,
+		// heal — the incremental side re-streams one student's tuples.
+		edit := 0
+		incT, err := timeLoop(600, func() error {
+			if err := s.SetText(name.ID, vals[edit%3]); err != nil {
+				return err
+			}
+			edit++
+			_ = s.Violated()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		fullT, err := timeLoop(12, func() error {
+			if err := s.SetText(name.ID, vals[edit%3]); err != nil {
+				return err
+			}
+			edit++
+			_ = cs.Violations(s.Tree())
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Verdict-identity gates, in the violated and the healed state.
+		agree := true
+		if err := s.SetText(name.ID, "E19-a"); err != nil {
+			return nil, err
+		}
+		want := cs.Violations(s.Tree())
+		t.Expect(len(want) > 0, "E19 %d courses: renaming a shared student must violate FD3", courses)
+		agree = agree && reportsEqual(want, s.Report()) &&
+			reportsEqual(want, cs.ViolationsSharded(s.Tree(), 4))
+		if err := s.SetText(name.ID, orig); err != nil {
+			return nil, err
+		}
+		t.Expect(s.Satisfied(), "E19 %d courses: restoring the name must heal the verdict", courses)
+		agree = agree && reportsEqual(cs.Violations(s.Tree()), s.Report())
+		t.Expect(agree, "E19 %d courses: incremental report differs from the full pass", courses)
+
+		// Insert/delete round trips: a cloned student enters another
+		// course's enrollment, the verdict is read, the clone leaves.
+		roundTrip := func(check func() error) error {
+			clone := student.Clone()
+			if err := s.InsertSubtree(takenBy.ID, clone); err != nil {
+				return err
+			}
+			if err := check(); err != nil {
+				return err
+			}
+			if err := s.DeleteSubtree(clone.ID); err != nil {
+				return err
+			}
+			return check()
+		}
+		incRT, err := timeLoop(200, func() error {
+			return roundTrip(func() error { _ = s.Violated(); return nil })
+		})
+		if err != nil {
+			return nil, err
+		}
+		fullRT, err := timeLoop(8, func() error {
+			return roundTrip(func() error { _ = cs.Violations(s.Tree()); return nil })
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Expect(s.Satisfied(), "E19 %d courses: round trips must leave the document valid", courses)
+
+		if courses == sizes[len(sizes)-1] {
+			t.Expect(fullT >= 10*incT,
+				"E19 %d courses: settext re-validation speedup %.1fx, want >= 10x",
+				courses, float64(fullT)/float64(incT))
+			t.Expect(fullRT >= 10*incRT,
+				"E19 %d courses: insert/delete re-validation speedup %.1fx, want >= 10x",
+				courses, float64(fullRT)/float64(incRT))
+		}
+		t.Rows = append(t.Rows, Row{
+			fmt.Sprint(courses), fmt.Sprint(nTuples), ms(buildT),
+			ms(incT), ms(fullT), speedup(fullT, incT),
+			ms(incRT), ms(fullRT), fmt.Sprint(agree),
+		})
+	}
+	t.Notes = "per-edit averages; the full column re-streams every tuple after each edit, the inc column re-streams only the edited subtree's"
+	return t, nil
+}

@@ -1007,6 +1007,7 @@ var registry = []struct {
 	{"E16", E16EngineAblation},
 	{"E17", func(Options) (*Table, error) { return E17PathInterning() }},
 	{"E18", func(Options) (*Table, error) { return E18StreamingTuples() }},
+	{"E19", func(Options) (*Table, error) { return E19IncrementalChecking() }},
 }
 
 // Run executes the selected experiments in suite order with the given

@@ -1,0 +1,379 @@
+// Package incremental re-validates documents across edits without
+// re-streaming the tree: the delta engine for T ⊨ Σ.
+//
+// A from-scratch pass (xfd.CheckerSet) decides satisfaction by
+// streaming every cluster's projected tuples — Definition 6's
+// tuples_D(T), restricted to the paths Σ mentions — into per-FD
+// LHS-keyed group maps. That cost is paid in full on every call, even
+// when the document changed by one attribute. The projection stream,
+// however, factorizes at every sibling-group choice point (see
+// tuples.StreamPinned): the tuples an edit at node v can touch are
+// exactly those whose choices select v's ancestor spine, a sub-
+// multiset the compiled plan enumerates directly, without visiting the
+// unaffected regions of the product.
+//
+// A Session exploits this by keeping the group maps ALIVE between
+// edits, with reference counts: per cluster, per FD, a two-level map
+// lhsKey → rhsKey → count of projected tuples, where the RHS key is
+// injective with respect to the checker's RHS-agreement relation
+// (xfd.CheckerSet.AppendFoldKeys). An FD is violated exactly when some
+// LHS group holds two distinct RHS keys, and a per-FD "conflicted
+// groups" counter makes that verdict O(1) to read. Each edit then
+//
+//  1. validates against the node index (xmltree.Index — the node →
+//     choice-point map: a node's spine IS the set of choices a tuple
+//     must commit to in order to contain it),
+//  2. retracts (count−1) the pinned stream of the edit's spine on the
+//     before-tree,
+//  3. applies the mutation through the index, and
+//  4. asserts (count+1) the pinned stream of the after-tree,
+//
+// with the retract/assert endpoints shifted one level up when an edit
+// opens or closes a sibling group (first child of a label in, last
+// child out), because a closed group contributes ⊥ through the parent
+// rather than a choice. Clusters whose projection cannot see the
+// edited region at all (Sees/SeesAttr/SeesText) are skipped — their
+// before and after streams are identical by construction.
+//
+// Verdicts are therefore maintained exactly; witnesses are not. They
+// are re-derived on demand by a sequential pass restricted to the
+// violated FDs (xfd.CheckerSet.WitnessReport), the same mechanism the
+// sharded checker uses, which is what makes Report() bit-identical —
+// same FDs, same order, same witness tuples — to what a from-scratch
+// CheckerSet.Violations would return on the current tree.
+package incremental
+
+import (
+	"fmt"
+	"sort"
+
+	"xmlnorm/internal/tuples"
+	"xmlnorm/internal/xfd"
+	"xmlnorm/internal/xmltree"
+)
+
+// fdState is the refcounted group map of one FD: how many projected
+// tuples of the current tree fold to each (LHS key, RHS key) pair.
+// Zero-count entries are deleted eagerly, so len(groups[lhs]) is the
+// number of distinct RHS classes of the group and conflicted counts
+// the LHS keys with at least two — the FD is violated iff it is
+// nonzero.
+type fdState struct {
+	groups     map[string]map[string]int
+	conflicted int
+}
+
+// add applies one refcount delta. A count driven below zero means a
+// retract stream did not match the asserted state — a bug in the delta
+// algebra, never a data condition — and panics.
+func (st *fdState) add(lhs, rhs string, delta int) {
+	g := st.groups[lhs]
+	if g == nil {
+		g = make(map[string]int)
+		st.groups[lhs] = g
+	}
+	before := len(g)
+	n := g[rhs] + delta
+	switch {
+	case n > 0:
+		g[rhs] = n
+	case n == 0:
+		delete(g, rhs)
+	default:
+		panic(fmt.Sprintf("incremental: refcount below zero for lhs %q rhs %q", lhs, rhs))
+	}
+	after := len(g)
+	if before < 2 && after >= 2 {
+		st.conflicted++
+	} else if before >= 2 && after < 2 {
+		st.conflicted--
+	}
+	if after == 0 {
+		delete(st.groups, lhs)
+	}
+}
+
+// clusterState is the live fold of one applicable cluster: its
+// projector (for pinned delta streams) and one fdState per cluster FD.
+type clusterState struct {
+	pr  *tuples.Projector
+	fds []int // Σ indices, cluster order
+	st  []fdState
+}
+
+// Session is a stateful incremental checker for one (CheckerSet,
+// document) pair. Build with New; apply every mutation through the
+// Session's edit methods — editing the tree behind its back leaves the
+// group maps stale (exactly as with xmltree.Index). A Session is not
+// safe for concurrent use.
+type Session struct {
+	cs       *xfd.CheckerSet
+	ix       *xmltree.Index
+	clusters []clusterState
+	sees     []bool // per-edit scratch, len(clusters)
+}
+
+// New builds a Session over the checker set and document: one node
+// index plus one full fold per cluster whose root label matches —
+// the same price as a single CheckerSet.Violations pass, paid once.
+func New(cs *xfd.CheckerSet, doc *xmltree.Tree) (*Session, error) {
+	ix, err := xmltree.NewIndex(doc)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{cs: cs, ix: ix}
+	for ci := 0; ci < cs.NumClusters(); ci++ {
+		if cs.ClusterLabel(ci) != doc.Root.Label {
+			continue // vacuous on this document, and root labels never change
+		}
+		fds := cs.ClusterFDs(ci)
+		cst := clusterState{pr: cs.ClusterProjector(ci), fds: fds, st: make([]fdState, len(fds))}
+		for li := range cst.st {
+			cst.st[li].groups = make(map[string]map[string]int)
+		}
+		s.clusters = append(s.clusters, cst)
+	}
+	s.sees = make([]bool, len(s.clusters))
+	for i := range s.clusters {
+		s.fold(&s.clusters[i], []*xmltree.Node{doc.Root}, +1)
+	}
+	return s, nil
+}
+
+// Tree returns the session's document. Treat it as read-only.
+func (s *Session) Tree() *xmltree.Tree { return s.ix.Tree() }
+
+// Node returns the node with the given ID, or an
+// xmltree.UnknownNodeError.
+func (s *Session) Node(id xmltree.NodeID) (*xmltree.Node, error) { return s.ix.Node(id) }
+
+// fold streams the pinned region into every FD of the cluster with the
+// given refcount delta. A spine of just the root folds the full
+// cluster stream.
+func (s *Session) fold(cst *clusterState, spine []*xmltree.Node, delta int) {
+	var lbuf, rbuf []byte
+	cst.pr.StreamPinned(s.ix.Tree(), spine, func(tup tuples.Tuple) bool {
+		for li, fi := range cst.fds {
+			lk, rk, applies := s.cs.AppendFoldKeys(tup, fi, lbuf[:0], rbuf[:0])
+			lbuf, rbuf = lk, rk
+			if !applies {
+				continue
+			}
+			cst.st[li].add(string(lk), string(rk), delta)
+		}
+		return true
+	})
+}
+
+// Violated returns the indices (Σ order, as CheckerSet.FDAt addresses
+// them) of the FDs the current tree violates. The verdict is read off
+// the conflicted counters — no streaming.
+func (s *Session) Violated() []int {
+	var out []int
+	for i := range s.clusters {
+		cst := &s.clusters[i]
+		for li, fi := range cst.fds {
+			if cst.st[li].conflicted > 0 {
+				out = append(out, fi)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Satisfied reports T ⊨ Σ for the current tree, in O(|Σ|).
+func (s *Session) Satisfied() bool {
+	for i := range s.clusters {
+		for li := range s.clusters[i].st {
+			if s.clusters[i].st[li].conflicted > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Report returns the full violation report for the current tree —
+// bit-identical (FDs, order, witness tuples) to what a from-scratch
+// CheckerSet.Violations pass would return. The verdict is incremental;
+// only the witnesses cost a walk, restricted to the violated FDs, and
+// a satisfied document returns nil without streaming anything.
+func (s *Session) Report() []xfd.Violated {
+	v := s.Violated()
+	if len(v) == 0 {
+		return nil
+	}
+	bad := make(map[int]bool, len(v))
+	for _, fi := range v {
+		bad[fi] = true
+	}
+	return s.cs.WitnessReport(s.ix.Tree(), bad)
+}
+
+// labelsOf extracts the label path of a spine into the session's
+// reusable scratch.
+func labelsOf(spine []*xmltree.Node) []string {
+	labels := make([]string, len(spine))
+	for i, n := range spine {
+		labels[i] = n.Label
+	}
+	return labels
+}
+
+// SetAttr sets an attribute on the addressed node and re-validates.
+// Only clusters whose projection requests that attribute at the node's
+// label path re-fold, and only over the node's pinned region.
+func (s *Session) SetAttr(id xmltree.NodeID, name, value string) error {
+	spine, err := s.ix.Spine(id)
+	if err != nil {
+		return err
+	}
+	labels := labelsOf(spine)
+	for i := range s.clusters {
+		s.sees[i] = s.clusters[i].pr.SeesAttr(labels, name)
+		if s.sees[i] {
+			s.fold(&s.clusters[i], spine, -1)
+		}
+	}
+	if err := s.ix.SetAttr(id, name, value); err != nil {
+		panic(fmt.Sprintf("incremental: SetAttr failed after validation: %v", err))
+	}
+	for i := range s.clusters {
+		if s.sees[i] {
+			s.fold(&s.clusters[i], spine, +1)
+		}
+	}
+	return nil
+}
+
+// SetText replaces the addressed node's string content and
+// re-validates. Nodes with element children are rejected, as in
+// xmltree.Index.SetText.
+func (s *Session) SetText(id xmltree.NodeID, text string) error {
+	spine, err := s.ix.Spine(id)
+	if err != nil {
+		return err
+	}
+	if n := spine[len(spine)-1]; len(n.Children) > 0 {
+		return s.ix.SetText(id, text) // refuses before mutating: canonical error
+	}
+	labels := labelsOf(spine)
+	for i := range s.clusters {
+		s.sees[i] = s.clusters[i].pr.SeesText(labels)
+		if s.sees[i] {
+			s.fold(&s.clusters[i], spine, -1)
+		}
+	}
+	if err := s.ix.SetText(id, text); err != nil {
+		panic(fmt.Sprintf("incremental: SetText failed after validation: %v", err))
+	}
+	for i := range s.clusters {
+		if s.sees[i] {
+			s.fold(&s.clusters[i], spine, +1)
+		}
+	}
+	return nil
+}
+
+// hasChildLabelled reports whether the node has a child with the
+// label — whether that sibling group is open.
+func hasChildLabelled(n *xmltree.Node, label string) bool {
+	for _, c := range n.Children {
+		if c.Label == label {
+			return true
+		}
+	}
+	return false
+}
+
+// InsertSubtree appends sub as the last child of the addressed parent
+// and re-validates. When the parent already has children of sub's
+// label the existing tuples are untouched and only the tuples choosing
+// the new child are asserted; when the insert OPENS the group, every
+// tuple through the parent changes (the branch was ⊥), so the parent's
+// pinned region is retracted first and re-asserted after.
+func (s *Session) InsertSubtree(parentID xmltree.NodeID, sub *xmltree.Node) error {
+	if err := s.ix.CheckInsert(parentID, sub); err != nil {
+		return err
+	}
+	if err := checkUniqueIDs(sub, make(map[xmltree.NodeID]bool)); err != nil {
+		return err
+	}
+	spineP, err := s.ix.Spine(parentID)
+	if err != nil {
+		return err
+	}
+	parent := spineP[len(spineP)-1]
+	labels := append(labelsOf(spineP), sub.Label)
+	wasOpen := hasChildLabelled(parent, sub.Label)
+	for i := range s.clusters {
+		s.sees[i] = s.clusters[i].pr.Sees(labels)
+		if s.sees[i] && !wasOpen {
+			s.fold(&s.clusters[i], spineP, -1)
+		}
+	}
+	if err := s.ix.InsertSubtree(parentID, sub); err != nil {
+		panic(fmt.Sprintf("incremental: InsertSubtree failed after validation: %v", err))
+	}
+	childSpine := append(spineP, sub)
+	for i := range s.clusters {
+		if s.sees[i] {
+			// With the group open, pinning to the new child covers the
+			// whole delta; when the insert opened it, the child is the
+			// group's only choice, so this equals the parent's region.
+			s.fold(&s.clusters[i], childSpine, +1)
+		}
+	}
+	return nil
+}
+
+// checkUniqueIDs rejects subtrees carrying internal duplicate IDs
+// before any state is retracted (Index.CheckInsert only vets the
+// subtree against the tree, not against itself).
+func checkUniqueIDs(n *xmltree.Node, seen map[xmltree.NodeID]bool) error {
+	if seen[n.ID] {
+		return fmt.Errorf("incremental: inserted subtree repeats node #%d", n.ID)
+	}
+	seen[n.ID] = true
+	for _, c := range n.Children {
+		if err := checkUniqueIDs(c, seen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeleteSubtree detaches the addressed node (and everything below it)
+// and re-validates. The node's pinned region is retracted; when the
+// delete CLOSES its sibling group (last child of the label out), the
+// parent's region is re-asserted — the branch contributes ⊥ now, and
+// every tuple through the parent changes shape.
+func (s *Session) DeleteSubtree(id xmltree.NodeID) error {
+	spine, err := s.ix.Spine(id)
+	if err != nil {
+		return err
+	}
+	if len(spine) < 2 {
+		return s.ix.DeleteSubtree(id) // root: refuses before mutating
+	}
+	n, parent := spine[len(spine)-1], spine[len(spine)-2]
+	labels := labelsOf(spine)
+	for i := range s.clusters {
+		s.sees[i] = s.clusters[i].pr.Sees(labels)
+		if s.sees[i] {
+			s.fold(&s.clusters[i], spine, -1)
+		}
+	}
+	if err := s.ix.DeleteSubtree(id); err != nil {
+		panic(fmt.Sprintf("incremental: DeleteSubtree failed after validation: %v", err))
+	}
+	if !hasChildLabelled(parent, n.Label) {
+		for i := range s.clusters {
+			if s.sees[i] {
+				s.fold(&s.clusters[i], spine[:len(spine)-1], +1)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+package tuples_test
+
+// Differential suite for the pinned (delta-region) streams. The load-
+// bearing fact of the incremental checker is the factorization law: at
+// any relevant sibling group, the full projection stream is the
+// disjoint union — as a MULTISET, since Projector.Stream does not
+// deduplicate — of the streams pinned to each of the group's choices.
+// These tests verify the law at every node of random documents, that a
+// spine of just the root reproduces Stream exactly, and that the
+// relevance probes answer precisely when the pinned stream is empty.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/gen"
+	"xmlnorm/internal/paths"
+	"xmlnorm/internal/tuples"
+	"xmlnorm/internal/xmltree"
+)
+
+// keyCounts drains a pinned stream into a binary-key multiset.
+func keyCounts(pr *tuples.Projector, doc *xmltree.Tree, spine []*xmltree.Node) (map[string]int, bool) {
+	counts := map[string]int{}
+	var buf []byte
+	ok := pr.StreamPinned(doc, spine, func(tup tuples.Tuple) bool {
+		buf = tup.AppendKey(buf[:0])
+		counts[string(buf)]++
+		return true
+	})
+	return counts, ok
+}
+
+func sameCounts(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, n := range a {
+		if b[k] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStreamPinnedFactorization checks, over ≥300 random (DTD,
+// document, query) instances, that at EVERY node v of the document:
+// if the projection sees v's label path, the pinned stream of v's
+// parent spine splits exactly (multiset of binary keys) into the
+// pinned streams of the sibling spines through each child of v's
+// label; and if it does not, StreamPinned reports false and yields
+// nothing. Together with the root case (TestStreamPinnedRootIsStream)
+// this is an inductive proof that StreamPinned enumerates exactly the
+// tuples whose choices select the spine.
+func TestStreamPinnedFactorization(t *testing.T) {
+	rng := rand.New(rand.NewSource(20020606))
+	instances := 0
+	for instances < 300 {
+		d := gen.RandomSimpleDTD(rng)
+		doc, err := gen.Document(d, rng, 2, 3)
+		if err != nil {
+			t.Fatalf("gen.Document: %v", err)
+		}
+		if tuples.CountTuples(doc, 0) > 2000 {
+			continue
+		}
+		instances++
+		all, err := d.Paths()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ps []dtd.Path
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			ps = append(ps, all[rng.Intn(len(all))])
+		}
+		u := paths.ForQuery(ps)
+		pr, err := tuples.NewProjector(u, ps)
+		if err != nil {
+			t.Fatalf("NewProjector(%v): %v", ps, err)
+		}
+		// Walk every node with its spine.
+		var walk func(spine []*xmltree.Node)
+		walk = func(spine []*xmltree.Node) {
+			parent := spine[len(spine)-1]
+			done := map[string]bool{} // one factorization check per label group
+			for _, c := range parent.Children {
+				childSpine := append(append([]*xmltree.Node(nil), spine...), c)
+				labels := make([]string, len(childSpine))
+				for i, n := range childSpine {
+					labels[i] = n.Label
+				}
+				if !pr.Sees(labels) {
+					counts, ok := keyCounts(pr, doc, childSpine)
+					if ok || len(counts) != 0 {
+						t.Fatalf("instance %d: StreamPinned on unseen spine %v yielded %d keys (ok=%v)\nquery %v\nDTD:\n%s\ndoc:\n%s",
+							instances, labels, len(counts), ok, ps, d, doc)
+					}
+					walk(childSpine)
+					continue
+				}
+				if !done[c.Label] {
+					done[c.Label] = true
+					whole, ok := keyCounts(pr, doc, spine)
+					if !ok {
+						t.Fatalf("instance %d: parent spine unseen but child spine seen (%v)", instances, labels)
+					}
+					parts := map[string]int{}
+					for _, sib := range parent.Children {
+						if sib.Label != c.Label {
+							continue
+						}
+						sibSpine := append(append([]*xmltree.Node(nil), spine...), sib)
+						pc, ok := keyCounts(pr, doc, sibSpine)
+						if !ok {
+							t.Fatalf("instance %d: sibling spine unseen for relevant label %q", instances, sib.Label)
+						}
+						for k, n := range pc {
+							parts[k] += n
+						}
+					}
+					if !sameCounts(whole, parts) {
+						t.Fatalf("instance %d: factorization fails at %v group %q: whole %d keys, union %d\nquery %v\nDTD:\n%s\ndoc:\n%s",
+							instances, labels[:len(labels)-1], c.Label, len(whole), len(parts), ps, d, doc)
+					}
+				}
+				walk(childSpine)
+			}
+		}
+		walk([]*xmltree.Node{doc.Root})
+	}
+}
+
+// TestStreamPinnedRootIsStream checks that pinning just the root
+// reproduces Projector.Stream exactly — same tuples, same order.
+func TestStreamPinnedRootIsStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(20020607))
+	instances := 0
+	for instances < 200 {
+		d := gen.RandomSimpleDTD(rng)
+		doc, err := gen.Document(d, rng, 2, 3)
+		if err != nil {
+			t.Fatalf("gen.Document: %v", err)
+		}
+		if tuples.CountTuples(doc, 0) > 2000 {
+			continue
+		}
+		instances++
+		all, err := d.Paths()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ps []dtd.Path
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			ps = append(ps, all[rng.Intn(len(all))])
+		}
+		u := paths.ForQuery(ps)
+		pr, err := tuples.NewProjector(u, ps)
+		if err != nil {
+			t.Fatalf("NewProjector(%v): %v", ps, err)
+		}
+		var want [][]byte
+		pr.Stream(doc, func(tup tuples.Tuple) bool {
+			want = append(want, tup.AppendKey(nil))
+			return true
+		})
+		i := 0
+		ok := pr.StreamPinned(doc, []*xmltree.Node{doc.Root}, func(tup tuples.Tuple) bool {
+			if i >= len(want) || !bytes.Equal(tup.AppendKey(nil), want[i]) {
+				t.Fatalf("instance %d: pinned-root tuple %d differs from Stream\nquery %v\nDTD:\n%s\ndoc:\n%s",
+					instances, i, ps, d, doc)
+			}
+			i++
+			return true
+		})
+		if !ok || i != len(want) {
+			t.Fatalf("instance %d: pinned-root stream yielded %d of %d tuples (ok=%v)", instances, i, len(want), ok)
+		}
+	}
+}
+
+// TestStreamPinnedRejects checks the contract's edges: a spine not
+// starting at the root, an empty spine, and a spine through labels no
+// query path opens all report false without yielding.
+func TestStreamPinnedRejects(t *testing.T) {
+	doc, err := xmltree.ParseString(`<r><a k="1"/><b><c/></b></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := []dtd.Path{dtd.MustParsePath("r.a.@k")}
+	pr, err := tuples.NewProjector(paths.ForQuery(ps), ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := doc.Root.Children[0], doc.Root.Children[1]
+	for name, spine := range map[string][]*xmltree.Node{
+		"empty":         nil,
+		"not at root":   {a},
+		"unseen label":  {doc.Root, b},
+		"unseen deeper": {doc.Root, b, b.Children[0]},
+	} {
+		if ok := pr.StreamPinned(doc, spine, func(tuples.Tuple) bool {
+			t.Fatalf("%s: yielded a tuple", name)
+			return false
+		}); ok {
+			t.Fatalf("%s: StreamPinned reported the spine as seen", name)
+		}
+	}
+	// The seen spine does stream.
+	n := 0
+	if ok := pr.StreamPinned(doc, []*xmltree.Node{doc.Root, a}, func(tuples.Tuple) bool {
+		n++
+		return true
+	}); !ok || n == 0 {
+		t.Fatalf("seen spine: ok=%v, %d tuples", ok, n)
+	}
+}
+
+// TestSeesProbes pins the relevance probes to a concrete query: Sees
+// accepts exactly the label paths the projection opens choice points
+// through, SeesAttr only the requested attributes, SeesText only the
+// requested text leaves.
+func TestSeesProbes(t *testing.T) {
+	ps := []dtd.Path{
+		dtd.MustParsePath("r.a.@k"),
+		dtd.MustParsePath("r.b.t.S"),
+	}
+	pr, err := tuples.NewProjector(paths.ForQuery(ps), ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		labels []string
+		want   bool
+	}{
+		{[]string{"r"}, true},
+		{[]string{"r", "a"}, true},
+		{[]string{"r", "b"}, true},
+		{[]string{"r", "b", "t"}, true},
+		{[]string{"r", "c"}, false},
+		{[]string{"r", "a", "x"}, false},
+		{[]string{"x"}, false},
+		{nil, false},
+	} {
+		if got := pr.Sees(tc.labels); got != tc.want {
+			t.Errorf("Sees(%v) = %v, want %v", tc.labels, got, tc.want)
+		}
+	}
+	if !pr.SeesAttr([]string{"r", "a"}, "k") {
+		t.Error("SeesAttr(r.a, k) = false")
+	}
+	if pr.SeesAttr([]string{"r", "a"}, "other") {
+		t.Error("SeesAttr(r.a, other) = true")
+	}
+	if pr.SeesAttr([]string{"r", "b"}, "k") {
+		t.Error("SeesAttr(r.b, k) = true")
+	}
+	if !pr.SeesText([]string{"r", "b", "t"}) {
+		t.Error("SeesText(r.b.t) = false")
+	}
+	if pr.SeesText([]string{"r", "a"}) {
+		t.Error("SeesText(r.a) = true")
+	}
+}

@@ -438,51 +438,28 @@ func (pr *Projector) Universe() *paths.Universe { return pr.u }
 // Of enumerates the restrictions of the maximal tuples of the tree to
 // the projector's paths, without duplicates. It returns nil when some
 // query path does not start at the tree's root label (such a path can
-// never be non-null in the tree).
+// never be non-null in the tree). Built on Stream plus a binary-key
+// set: duplicates (one per group of sibling choices producing the same
+// projection) are dropped as they stream by, keeping first
+// occurrences, so only the distinct projections are ever materialized
+// — no per-level cross-product slabs. Deduplicating the stream keeps
+// the exact output order the old recursive cross-product enumeration
+// produced: removing duplicates from A×B commutes with removing them
+// from A first.
 func (pr *Projector) Of(t *xmltree.Tree) []Tuple {
-	for _, f := range pr.first {
-		if f != t.Root.Label {
-			return nil
+	var out []Tuple
+	seen := map[string]bool{}
+	var buf []byte
+	pr.Stream(t, func(tup Tuple) bool {
+		buf = tup.appendKey(buf[:0])
+		if seen[string(buf)] {
+			return true
 		}
-	}
-	var enum func(n *xmltree.Node, r *relevant) []Tuple
-	enum = func(n *xmltree.Node, r *relevant) []Tuple {
-		base := NewTuple(pr.u)
-		if r.wanted != paths.None {
-			base.SetID(r.wanted, NodeValue(n.ID))
-		}
-		for _, a := range r.attrs {
-			if v, ok := n.Attr(a.name); ok {
-				base.SetID(a.id, StringValue(v))
-			}
-		}
-		if r.textID != paths.None && n.HasText {
-			base.SetID(r.textID, StringValue(n.Text))
-		}
-		acc := []Tuple{base}
-		for _, label := range r.kidOrder {
-			kr := r.kids[label]
-			kids := n.ChildrenLabelled(label)
-			if len(kids) == 0 {
-				continue // whole branch is ⊥
-			}
-			var alts []Tuple
-			for _, c := range kids {
-				alts = append(alts, enum(c, kr)...)
-			}
-			next := make([]Tuple, 0, len(acc)*len(alts))
-			for _, t := range acc {
-				for _, a := range alts {
-					merged := t.Clone()
-					merged.merge(a)
-					next = append(next, merged)
-				}
-			}
-			acc = next
-		}
-		return dedup(acc)
-	}
-	return enum(t.Root, pr.rel)
+		seen[string(buf)] = true
+		out = append(out, tup.Clone())
+		return true
+	})
+	return out
 }
 
 // Projections enumerates the restrictions of the maximal tuples of the
@@ -522,21 +499,4 @@ func ProjectionsErr(t *xmltree.Tree, ps []dtd.Path) ([]Tuple, error) {
 		return nil, err
 	}
 	return pr.Of(t), nil
-}
-
-// dedup removes duplicate tuples, keeping first occurrences, using the
-// binary tuple key (ID set + values) instead of the rendered Canonical
-// string.
-func dedup(ts []Tuple) []Tuple {
-	seen := map[string]bool{}
-	out := ts[:0]
-	var buf []byte
-	for _, t := range ts {
-		buf = t.appendKey(buf[:0])
-		if !seen[string(buf)] {
-			seen[string(buf)] = true
-			out = append(out, t)
-		}
-	}
-	return out
 }

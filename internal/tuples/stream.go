@@ -166,48 +166,57 @@ func Stream(u *paths.Universe, t *xmltree.Tree, yield func(Tuple) bool) error {
 	return nil
 }
 
+// selfValues returns the assignments a node contributes to any
+// projected tuple containing it, in plan order (element vertex,
+// requested attributes, text).
+func (r *relevant) selfValues(n *xmltree.Node) []pathValue {
+	var self []pathValue
+	if r.wanted != paths.None {
+		self = append(self, pathValue{id: r.wanted, v: NodeValue(n.ID)})
+	}
+	for _, a := range r.attrs {
+		if v, ok := n.Attr(a.name); ok {
+			self = append(self, pathValue{id: a.id, v: StringValue(v)})
+		}
+	}
+	if r.textID != paths.None && n.HasText {
+		self = append(self, pathValue{id: r.textID, v: StringValue(n.Text)})
+	}
+	return self
+}
+
+// buildProj builds the projection plan node for one tree node: only
+// requested paths contribute assignments, only relevant labels open
+// choice points, and branches with no children of a relevant label are
+// ⊥, mirroring Projector.Of.
+func (pr *Projector) buildProj(n *xmltree.Node, r *relevant) *planNode {
+	sn := &planNode{self: r.selfValues(n)}
+	for _, label := range r.kidOrder {
+		kr := r.kids[label]
+		var kids []*planNode
+		for _, c := range n.Children {
+			if c.Label == label {
+				kids = append(kids, pr.buildProj(c, kr))
+			}
+		}
+		if len(kids) == 0 {
+			continue // whole branch is ⊥
+		}
+		sn.groups = append(sn.groups, kids)
+	}
+	return sn
+}
+
 // compileProj builds the projection plan of a tree against a
-// projector's relevant tree: only requested paths contribute
-// assignments, and only relevant labels open choice points. A nil plan
-// root means the enumeration is empty (some query path does not start
-// at the tree's root label). Branches with no children of a relevant
-// label are ⊥, mirroring Projector.Of.
+// projector's relevant tree. A nil plan root means the enumeration is
+// empty (some query path does not start at the tree's root label).
 func (pr *Projector) compileProj(t *xmltree.Tree) *plan {
 	for _, f := range pr.first {
 		if f != t.Root.Label {
 			return &plan{u: pr.u}
 		}
 	}
-	var build func(n *xmltree.Node, r *relevant) *planNode
-	build = func(n *xmltree.Node, r *relevant) *planNode {
-		sn := &planNode{}
-		if r.wanted != paths.None {
-			sn.self = append(sn.self, pathValue{id: r.wanted, v: NodeValue(n.ID)})
-		}
-		for _, a := range r.attrs {
-			if v, ok := n.Attr(a.name); ok {
-				sn.self = append(sn.self, pathValue{id: a.id, v: StringValue(v)})
-			}
-		}
-		if r.textID != paths.None && n.HasText {
-			sn.self = append(sn.self, pathValue{id: r.textID, v: StringValue(n.Text)})
-		}
-		for _, label := range r.kidOrder {
-			kr := r.kids[label]
-			var kids []*planNode
-			for _, c := range n.Children {
-				if c.Label == label {
-					kids = append(kids, build(c, kr))
-				}
-			}
-			if len(kids) == 0 {
-				continue // whole branch is ⊥
-			}
-			sn.groups = append(sn.groups, kids)
-		}
-		return sn
-	}
-	return &plan{u: pr.u, root: build(t.Root, pr.rel)}
+	return &plan{u: pr.u, root: pr.buildProj(t.Root, pr.rel)}
 }
 
 // RootChoiceLabels returns the child labels of the projector's root

@@ -131,15 +131,6 @@ func (t Tuple) Clone() Tuple {
 	return Tuple{u: t.u, set: t.set.Clone(), vals: append([]Value(nil), t.vals...)}
 }
 
-// merge copies o's non-null entries into t (same universe, so the
-// bitsets have equal word counts).
-func (t Tuple) merge(o Tuple) {
-	o.set.ForEach(func(id paths.ID) { t.vals[id] = o.vals[id] })
-	for i := range o.set {
-		t.set[i] |= o.set[i]
-	}
-}
-
 // Project restricts the tuple to the given paths (null entries are
 // dropped). Each path is resolved against the universe exactly once.
 func (t Tuple) Project(ps []dtd.Path) Tuple {

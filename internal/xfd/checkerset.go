@@ -409,15 +409,22 @@ func (cs *CheckerSet) shardVerdict(cl *cluster, t *xmltree.Tree, workers int) (b
 		results[s] = res
 		return nil
 	})
-	bad = make(map[int]bool)
-merge:
-	for li, fi := range cl.fds {
-		cf := &cs.fds[fi]
+	// The per-FD merges are independent, so they fan out over the pool
+	// too: worker li touches only results[*].groups[li] (read-only
+	// after the fold pass above) and its own badLocal slot. The
+	// verdict per FD does not depend on merge order — RHS agreement is
+	// an equivalence relation, so a cross-shard conflict exists iff
+	// SOME pair of representatives of one LHS key disagrees — which
+	// keeps the result identical to the sequential merge at any worker
+	// count.
+	badLocal := make([]bool, len(cl.fds))
+	pool.ForEach(workers, len(cl.fds), func(li int) error {
+		cf := &cs.fds[cl.fds[li]]
 		merged := make(map[string]tuples.Tuple)
 		for _, res := range results {
 			if res.violated[li] {
-				bad[fi] = true
-				continue merge
+				badLocal[li] = true
+				return nil
 			}
 			for key, rep := range res.groups[li] {
 				first, seen := merged[key]
@@ -426,10 +433,17 @@ merge:
 					continue
 				}
 				if !sameRHS(first, rep, cf.rhs) {
-					bad[fi] = true
-					continue merge
+					badLocal[li] = true
+					return nil
 				}
 			}
+		}
+		return nil
+	})
+	bad = make(map[int]bool)
+	for li, fi := range cl.fds {
+		if badLocal[li] {
+			bad[fi] = true
 		}
 	}
 	return bad, true
@@ -476,20 +490,5 @@ func (cs *CheckerSet) SatisfiesAllSharded(t *xmltree.Tree, workers int) bool {
 // regardless of worker count or scheduling. Documents that satisfy Σ
 // (the common case) never pay for the witness pass.
 func (cs *CheckerSet) ViolationsSharded(t *xmltree.Tree, workers int) []Violated {
-	bad := cs.violatedSharded(t, workers)
-	if len(bad) == 0 {
-		return nil
-	}
-	witnesses := make(map[int][2]tuples.Tuple, len(bad))
-	for ci := range cs.clusters {
-		cl := &cs.clusters[ci]
-		if cl.label != t.Root.Label {
-			continue
-		}
-		cs.checkCluster(cl, t, bad, func(i int, w [2]tuples.Tuple) bool {
-			witnesses[i] = w
-			return true
-		})
-	}
-	return cs.report(witnesses)
+	return cs.WitnessReport(t, cs.violatedSharded(t, workers))
 }

@@ -1,0 +1,95 @@
+package xfd
+
+// Exported fold/unfold hooks for the incremental checking engine
+// (internal/incremental). A CheckerSet compiles Σ into clusters, each
+// with a union projector and per-FD (LHS, RHS) path-ID sides; the
+// sequential and sharded passes fold projection streams into per-FD
+// LHS-keyed group maps using those compiled sides. The incremental
+// Session maintains the same group maps with reference counts across
+// edits, so it needs the cluster layout, the projectors (to run pinned
+// delta streams), and the exact key encodings — exposed here so the
+// maps it maintains are keyed identically to the ones a from-scratch
+// pass would build, which is what makes "re-derive witnesses through
+// checkCluster" yield reports bit-identical to Violations.
+
+import (
+	"xmlnorm/internal/tuples"
+	"xmlnorm/internal/xmltree"
+)
+
+// NumClusters returns the number of FD clusters the set compiled to.
+func (cs *CheckerSet) NumClusters() int { return len(cs.clusters) }
+
+// ClusterLabel returns the root label cluster ci applies to: on
+// documents with any other root label, all of the cluster's FDs are
+// vacuously satisfied.
+func (cs *CheckerSet) ClusterLabel(ci int) string { return cs.clusters[ci].label }
+
+// ClusterFDs returns the indices (into Σ order, as FDAt addresses
+// them) of the FDs decided by cluster ci's stream. The slice is
+// shared; do not mutate it.
+func (cs *CheckerSet) ClusterFDs(ci int) []int { return cs.clusters[ci].fds }
+
+// ClusterProjector returns the union projector feeding cluster ci —
+// the one whose Stream (and StreamPinned) enumerates the tuples every
+// FD of the cluster is folded over.
+func (cs *CheckerSet) ClusterProjector(ci int) *tuples.Projector { return cs.clusters[ci].pr }
+
+// AppendFoldKeys computes the group-map keys of one projected tuple
+// under FD fi (Σ index): the LHS key the fold groups by and an RHS key
+// that is equal between two tuples of a group exactly when sameRHS
+// holds — i.e. grouping refcounts by (lhsKey, rhsKey) counts RHS
+// equivalence classes, and an LHS group violates the FD iff it holds
+// two distinct RHS keys. applies is false when some LHS value is ⊥
+// (the FD does not constrain the tuple; key contents are then
+// unspecified). Keys are appended to the dst slices (pass buf[:0] to
+// reuse); the returned slices alias them.
+func (cs *CheckerSet) AppendFoldKeys(tup tuples.Tuple, fi int, lhsDst, rhsDst []byte) (lhsK, rhsK []byte, applies bool) {
+	cf := &cs.fds[fi]
+	lhsK, ok := lhsKey(tup, cf.lhs, lhsDst)
+	if !ok {
+		return lhsK, rhsDst, false
+	}
+	rhsK = rhsDst
+	for _, id := range cf.rhs {
+		v, ok := tup.GetID(id)
+		switch {
+		case !ok:
+			rhsK = append(rhsK, 0) // ⊥: present-vs-absent must differ
+		case v.IsNode():
+			rhsK = append(rhsK, 1)
+			rhsK = appendUvarint(rhsK, uint64(v.Node()))
+		default:
+			s := v.Str()
+			rhsK = append(rhsK, 2)
+			rhsK = appendUvarint(rhsK, uint64(len(s)))
+			rhsK = append(rhsK, s...)
+		}
+	}
+	return lhsK, rhsK, true
+}
+
+// WitnessReport re-derives the violation report for a known verdict:
+// given the set of violated FD indices, it runs one sequential stream
+// per applicable cluster restricted to those FDs and returns the same
+// []Violated — first-conflict witnesses in Σ order — that Violations
+// would produce on the document. This is how both the sharded checker
+// and the incremental Session turn a cheap verdict into the canonical
+// report; a nil/empty bad set returns nil without walking anything.
+func (cs *CheckerSet) WitnessReport(t *xmltree.Tree, bad map[int]bool) []Violated {
+	if len(bad) == 0 {
+		return nil
+	}
+	witnesses := make(map[int][2]tuples.Tuple, len(bad))
+	for ci := range cs.clusters {
+		cl := &cs.clusters[ci]
+		if cl.label != t.Root.Label {
+			continue
+		}
+		cs.checkCluster(cl, t, bad, func(i int, w [2]tuples.Tuple) bool {
+			witnesses[i] = w
+			return true
+		})
+	}
+	return cs.report(witnesses)
+}

@@ -1,0 +1,123 @@
+package xfd_test
+
+// Tests for the exported incremental hooks: folding every cluster
+// stream by (LHS key, RHS key) must decide exactly the FDs Violations
+// reports — the RHS key is injective with respect to RHS agreement, so
+// "some LHS key holds two distinct RHS keys" IS the violation
+// condition — and WitnessReport must reconstruct the full Violations
+// report from nothing but the verdict set.
+
+import (
+	"math/rand"
+	"testing"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/gen"
+	"xmlnorm/internal/paths"
+	"xmlnorm/internal/tuples"
+	"xmlnorm/internal/xfd"
+	"xmlnorm/internal/xmltree"
+)
+
+// foldVerdict decides the violated FD set by grouping cluster streams
+// with AppendFoldKeys — the exact bookkeeping the incremental Session
+// maintains across edits, run here from scratch.
+func foldVerdict(cs *xfd.CheckerSet, doc *xmltree.Tree) map[int]bool {
+	bad := map[int]bool{}
+	for ci := 0; ci < cs.NumClusters(); ci++ {
+		if cs.ClusterLabel(ci) != doc.Root.Label {
+			continue
+		}
+		fds := cs.ClusterFDs(ci)
+		groups := make([]map[string]map[string]int, len(fds))
+		for li := range fds {
+			groups[li] = map[string]map[string]int{}
+		}
+		var lbuf, rbuf []byte
+		cs.ClusterProjector(ci).Stream(doc, func(tup tuples.Tuple) bool {
+			for li, fi := range fds {
+				lk, rk, applies := cs.AppendFoldKeys(tup, fi, lbuf[:0], rbuf[:0])
+				lbuf, rbuf = lk, rk
+				if !applies {
+					continue
+				}
+				g := groups[li][string(lk)]
+				if g == nil {
+					g = map[string]int{}
+					groups[li][string(lk)] = g
+				}
+				g[string(rk)]++
+			}
+			return true
+		})
+		for li, fi := range fds {
+			for _, g := range groups[li] {
+				if len(g) > 1 {
+					bad[fi] = true
+					break
+				}
+			}
+		}
+	}
+	return bad
+}
+
+// TestFoldKeysDecideViolations runs random (DTD, document, σ)
+// instances and checks the fold-key verdict equals the streaming
+// checker's, and that WitnessReport over that verdict reproduces the
+// Violations report bit for bit.
+func TestFoldKeysDecideViolations(t *testing.T) {
+	rng := rand.New(rand.NewSource(20020608))
+	instances := 0
+	for instances < 300 {
+		d := gen.RandomSimpleDTD(rng)
+		doc, err := gen.Document(d, rng, 2, 3)
+		if err != nil {
+			t.Fatalf("gen.Document: %v", err)
+		}
+		if tuples.CountTuples(doc, 0) > 2000 {
+			continue
+		}
+		instances++
+		u, err := paths.New(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all, err := d.Paths()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigma := make([]xfd.FD, 3)
+		for k := range sigma {
+			var f xfd.FD
+			for j := 0; j < 1+rng.Intn(2); j++ {
+				f.LHS = append(f.LHS, all[rng.Intn(len(all))])
+			}
+			f.RHS = []dtd.Path{all[rng.Intn(len(all))]}
+			sigma[k] = f
+		}
+		cs, err := xfd.NewCheckerSet(u, sigma)
+		if err != nil {
+			t.Fatalf("NewCheckerSet: %v", err)
+		}
+		want := map[int]bool{}
+		cs.Check(doc, func(i int, _ [2]tuples.Tuple) bool {
+			want[i] = true
+			return true
+		})
+		got := foldVerdict(cs, doc)
+		if len(got) != len(want) {
+			t.Fatalf("instance %d: fold verdict has %d violated FDs, Check %d\nDTD:\n%s\ndoc:\n%s",
+				instances, len(got), len(want), d, doc)
+		}
+		for fi := range want {
+			if !got[fi] {
+				t.Fatalf("instance %d: FD %d violated per Check but not per fold keys", instances, fi)
+			}
+		}
+		sameReports(t, cs.Violations(doc), cs.WitnessReport(doc, got), "WitnessReport")
+	}
+	if report := (&xfd.CheckerSet{}).WitnessReport(nil, nil); report != nil {
+		t.Fatalf("WitnessReport(empty) = %v, want nil", report)
+	}
+}

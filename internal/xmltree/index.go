@@ -1,0 +1,218 @@
+package xmltree
+
+// Index pairs a Tree with vertex and parent maps so that nodes can be
+// addressed by NodeID in O(1) and edited in place without re-walking
+// the tree. Tree itself is a pure value: NodeByID walks, and nothing
+// records parents. The incremental checking engine
+// (internal/incremental) needs both on every edit, so the maps live
+// here and every edit primitive keeps them coherent — after any
+// sequence of InsertSubtree/DeleteSubtree/SetAttr/SetText calls the
+// index answers exactly like a fresh NewIndex over the current tree.
+
+import "fmt"
+
+// UnknownNodeError reports an operation addressed at a vertex that is
+// not in the indexed tree — the typed "no such NodeID" failure edit
+// scripts must be able to branch on without string matching.
+type UnknownNodeError struct{ ID NodeID }
+
+func (e *UnknownNodeError) Error() string {
+	return fmt.Sprintf("xmltree: no node #%d in the tree", e.ID)
+}
+
+// Index is an identity-indexed view of a Tree. Build one with NewIndex
+// and apply every subsequent mutation through the Index's own edit
+// primitives; mutating the tree behind the Index's back leaves the
+// maps stale. An Index is not safe for concurrent use.
+type Index struct {
+	tree   *Tree
+	nodes  map[NodeID]*Node
+	parent map[NodeID]*Node // absent for the root
+}
+
+// NewIndex indexes the tree. Duplicate vertex IDs are an error — the
+// identity maps would be ambiguous (trees built through NewNode or
+// Parse never have any).
+func NewIndex(t *Tree) (*Index, error) {
+	ix := &Index{
+		tree:   t,
+		nodes:  make(map[NodeID]*Node),
+		parent: make(map[NodeID]*Node),
+	}
+	if err := ix.register(t.Root, nil); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// register adds the subtree rooted at n (with the given parent) to the
+// maps, failing on any ID collision.
+func (ix *Index) register(n *Node, parent *Node) error {
+	if prev, ok := ix.nodes[n.ID]; ok {
+		return fmt.Errorf("xmltree: duplicate node #%d (labels %q and %q)", n.ID, prev.Label, n.Label)
+	}
+	ix.nodes[n.ID] = n
+	if parent != nil {
+		ix.parent[n.ID] = parent
+	}
+	for _, c := range n.Children {
+		if err := ix.register(c, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deregister removes the subtree rooted at n from the maps.
+func (ix *Index) deregister(n *Node) {
+	delete(ix.nodes, n.ID)
+	delete(ix.parent, n.ID)
+	for _, c := range n.Children {
+		ix.deregister(c)
+	}
+}
+
+// Tree returns the indexed tree. Treat it as read-only: all mutation
+// must go through the Index's edit primitives.
+func (ix *Index) Tree() *Tree { return ix.tree }
+
+// Len returns the number of element nodes in the tree.
+func (ix *Index) Len() int { return len(ix.nodes) }
+
+// Node returns the node with the given vertex ID, or an
+// UnknownNodeError.
+func (ix *Index) Node(id NodeID) (*Node, error) {
+	n, ok := ix.nodes[id]
+	if !ok {
+		return nil, &UnknownNodeError{ID: id}
+	}
+	return n, nil
+}
+
+// Parent returns the parent of the node, or nil for the root.
+func (ix *Index) Parent(id NodeID) (*Node, error) {
+	if _, ok := ix.nodes[id]; !ok {
+		return nil, &UnknownNodeError{ID: id}
+	}
+	return ix.parent[id], nil
+}
+
+// Spine returns the ancestor chain of the node from the root to the
+// node itself, inclusive — the choice points a tree tuple must commit
+// to in order to contain the node.
+func (ix *Index) Spine(id NodeID) ([]*Node, error) {
+	n, ok := ix.nodes[id]
+	if !ok {
+		return nil, &UnknownNodeError{ID: id}
+	}
+	var rev []*Node
+	for n != nil {
+		rev = append(rev, n)
+		n = ix.parent[n.ID]
+	}
+	spine := make([]*Node, len(rev))
+	for i, n := range rev {
+		spine[len(rev)-1-i] = n
+	}
+	return spine, nil
+}
+
+// SetAttr sets an attribute on the addressed node.
+func (ix *Index) SetAttr(id NodeID, name, value string) error {
+	n, err := ix.Node(id)
+	if err != nil {
+		return err
+	}
+	n.SetAttr(name, value)
+	return nil
+}
+
+// SetText replaces the addressed node's string content. Nodes with
+// element children are rejected: silently dropping a subtree (as
+// Node.SetText would) must go through DeleteSubtree so the index stays
+// coherent.
+func (ix *Index) SetText(id NodeID, text string) error {
+	n, err := ix.Node(id)
+	if err != nil {
+		return err
+	}
+	if len(n.Children) > 0 {
+		return fmt.Errorf("xmltree: node #%d <%s> has element children; delete them before SetText", id, n.Label)
+	}
+	n.SetText(text)
+	return nil
+}
+
+// CheckInsert reports whether InsertSubtree(parentID, sub) would
+// succeed, without mutating anything: the parent must exist and have
+// element (or empty) content, and no vertex of sub may already be in
+// the tree. Callers that must do work between validating and applying
+// an insert (the incremental engine retracts tuples in between) call
+// this first.
+func (ix *Index) CheckInsert(parentID NodeID, sub *Node) error {
+	p, err := ix.Node(parentID)
+	if err != nil {
+		return err
+	}
+	if sub == nil {
+		return fmt.Errorf("xmltree: insert of a nil subtree")
+	}
+	if p.HasText {
+		return fmt.Errorf("xmltree: node #%d <%s> has string content; mixed content is not representable", parentID, p.Label)
+	}
+	return ix.checkFresh(sub)
+}
+
+// checkFresh verifies no vertex of the subtree is already indexed.
+func (ix *Index) checkFresh(n *Node) error {
+	if prev, ok := ix.nodes[n.ID]; ok {
+		return fmt.Errorf("xmltree: node #%d <%s> is already in the tree (as <%s>)", n.ID, n.Label, prev.Label)
+	}
+	for _, c := range n.Children {
+		if err := ix.checkFresh(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InsertSubtree appends sub as the last child of the addressed parent
+// and registers its vertices. Inserting a subtree that is already in
+// the tree is an error (Clone it for a copy with fresh IDs).
+func (ix *Index) InsertSubtree(parentID NodeID, sub *Node) error {
+	if err := ix.CheckInsert(parentID, sub); err != nil {
+		return err
+	}
+	p := ix.nodes[parentID]
+	p.Children = append(p.Children, sub)
+	if err := ix.register(sub, p); err != nil {
+		// checkFresh vetted the IDs against the tree; a failure here
+		// means sub itself carries duplicates. Undo the append.
+		p.Children = p.Children[:len(p.Children)-1]
+		ix.deregister(sub)
+		return err
+	}
+	return nil
+}
+
+// DeleteSubtree detaches the addressed node (and everything below it)
+// from its parent and deregisters its vertices. The root cannot be
+// deleted.
+func (ix *Index) DeleteSubtree(id NodeID) error {
+	n, err := ix.Node(id)
+	if err != nil {
+		return err
+	}
+	p := ix.parent[id]
+	if p == nil {
+		return fmt.Errorf("xmltree: cannot delete the root node #%d", id)
+	}
+	for i, c := range p.Children {
+		if c == n {
+			p.Children = append(p.Children[:i], p.Children[i+1:]...)
+			break
+		}
+	}
+	ix.deregister(n)
+	return nil
+}

@@ -1,0 +1,154 @@
+package xmltree
+
+import (
+	"errors"
+	"testing"
+)
+
+// rebuild checks the index answers exactly like a fresh index over the
+// current tree: same node set, same parents.
+func checkCoherent(t *testing.T, ix *Index) {
+	t.Helper()
+	fresh, err := NewIndex(ix.tree)
+	if err != nil {
+		t.Fatalf("fresh index: %v", err)
+	}
+	if len(ix.nodes) != len(fresh.nodes) {
+		t.Fatalf("index has %d nodes, fresh walk finds %d", len(ix.nodes), len(fresh.nodes))
+	}
+	for id, n := range fresh.nodes {
+		if got, ok := ix.nodes[id]; !ok || got != n {
+			t.Fatalf("node #%d: index %p, fresh %p", id, got, n)
+		}
+		if gp, fp := ix.parent[id], fresh.parent[id]; gp != fp {
+			t.Fatalf("node #%d: index parent %p, fresh parent %p", id, gp, fp)
+		}
+	}
+}
+
+func TestIndexEditsStayCoherent(t *testing.T) {
+	doc := MustParseString(`<r><a k="1"><b/></a><a k="2"/><t>hi</t></r>`)
+	ix, err := NewIndex(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", ix.Len())
+	}
+	checkCoherent(t, ix)
+
+	a1 := doc.Root.Children[0]
+	if err := ix.SetAttr(a1.ID, "k", "9"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := a1.Attr("k"); v != "9" {
+		t.Fatalf("SetAttr: k = %q", v)
+	}
+
+	// Insert a fresh subtree under a1 and check registration.
+	sub := NewNode("c").SetAttr("v", "x")
+	sub.Append(NewNode("d"))
+	if err := ix.InsertSubtree(a1.ID, sub); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 7 {
+		t.Fatalf("Len after insert = %d, want 7", ix.Len())
+	}
+	checkCoherent(t, ix)
+	if p, _ := ix.Parent(sub.ID); p != a1 {
+		t.Fatalf("parent of inserted subtree = %p, want %p", p, a1)
+	}
+
+	// Spine runs root..node.
+	spine, err := ix.Spine(sub.Children[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var labels []string
+	for _, n := range spine {
+		labels = append(labels, n.Label)
+	}
+	if got, want := len(labels), 4; got != want {
+		t.Fatalf("spine %v, want depth %d", labels, want)
+	}
+	for i, want := range []string{"r", "a", "c", "d"} {
+		if labels[i] != want {
+			t.Fatalf("spine labels = %v", labels)
+		}
+	}
+
+	// Re-inserting the same subtree must fail (IDs collide) and leave
+	// the index unchanged.
+	if err := ix.InsertSubtree(a1.ID, sub); err == nil {
+		t.Fatal("re-insert of an attached subtree should fail")
+	}
+	checkCoherent(t, ix)
+
+	// Delete it again.
+	if err := ix.DeleteSubtree(sub.ID); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 5 {
+		t.Fatalf("Len after delete = %d, want 5", ix.Len())
+	}
+	checkCoherent(t, ix)
+	if _, err := ix.Node(sub.ID); err == nil {
+		t.Fatal("deleted node still indexed")
+	}
+
+	// SetText on the text leaf works; on an element parent it refuses.
+	txt := doc.Root.Children[2]
+	if err := ix.SetText(txt.ID, "bye"); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.Children[2].Text != "bye" {
+		t.Fatal("SetText did not apply")
+	}
+	if err := ix.SetText(a1.ID, "nope"); err == nil {
+		t.Fatal("SetText over element children should fail")
+	}
+	checkCoherent(t, ix)
+}
+
+func TestIndexTypedErrors(t *testing.T) {
+	doc := MustParseString(`<r><a/></r>`)
+	ix, err := NewIndex(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing := FreshID()
+	var unknown *UnknownNodeError
+	for name, call := range map[string]func() error{
+		"SetAttr":       func() error { return ix.SetAttr(missing, "k", "v") },
+		"SetText":       func() error { return ix.SetText(missing, "t") },
+		"DeleteSubtree": func() error { return ix.DeleteSubtree(missing) },
+		"InsertSubtree": func() error { return ix.InsertSubtree(missing, NewNode("x")) },
+	} {
+		err := call()
+		if !errors.As(err, &unknown) {
+			t.Errorf("%s(#%d): err = %v, want UnknownNodeError", name, missing, err)
+		} else if unknown.ID != missing {
+			t.Errorf("%s: UnknownNodeError.ID = %d, want %d", name, unknown.ID, missing)
+		}
+	}
+	if err := ix.DeleteSubtree(doc.Root.ID); err == nil {
+		t.Fatal("deleting the root should fail")
+	}
+	// Inserting under a text node is mixed content.
+	tdoc := MustParseString(`<r><s>hi</s></r>`)
+	tix, err := NewIndex(tdoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tix.InsertSubtree(tdoc.Root.Children[0].ID, NewNode("x")); err == nil {
+		t.Fatal("insert under string content should fail")
+	}
+	// Duplicate IDs at construction are rejected.
+	dup := NewNode("r")
+	child := NewNode("a")
+	child.ID = dup.ID
+	dup.Append(child)
+	if _, err := NewIndex(NewTree(dup)); err == nil {
+		t.Fatal("NewIndex over duplicate IDs should fail")
+	}
+}

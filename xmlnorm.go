@@ -36,6 +36,7 @@ import (
 	"xmlnorm/internal/dtd"
 	"xmlnorm/internal/engine"
 	"xmlnorm/internal/implication"
+	"xmlnorm/internal/incremental"
 	"xmlnorm/internal/xfd"
 	"xmlnorm/internal/xmltree"
 	"xmlnorm/internal/xnf"
@@ -75,6 +76,19 @@ type (
 	RedundancyReport = xnf.RedundancyReport
 	// Preservation reports which original FDs survive a normalization.
 	Preservation = xnf.Preservation
+	// Node is one element node of a Tree.
+	Node = xmltree.Node
+	// NodeID identifies a node within a Tree.
+	NodeID = xmltree.NodeID
+	// UnknownNodeError is the typed failure of a Session edit (or any
+	// indexed tree operation) addressed at a NodeID that is not in the
+	// tree; test with errors.As.
+	UnknownNodeError = xmltree.UnknownNodeError
+	// Session is a stateful incremental checker: it validates a
+	// document once, then re-validates each edit against Σ by
+	// retracting and re-asserting only the tree tuples the edit can
+	// touch, instead of re-streaming the whole tree. See NewSession.
+	Session = incremental.Session
 )
 
 // ParseSpec reads the "DTD %% FDs" specification format. The FD section
@@ -216,6 +230,23 @@ func ViolationsOpts(t *Tree, sigma []FD, eo EngineOptions) []Violated {
 		return nil // unreachable: the query universe interns all of Σ's paths
 	}
 	return cs.ViolationsSharded(t, eo.WorkerCount())
+}
+
+// NewSession builds an incremental checker for the specification's Σ
+// over the document: one full validation pass up front, then each
+// Session edit (SetAttr, SetText, InsertSubtree, DeleteSubtree)
+// re-validates by streaming only the tuples crossing the edited
+// region. Session.Violated reports the violated FD indices (Σ order)
+// in O(|Σ|); Session.Report re-derives full witness reports that are
+// bit-identical to Violations on the current tree. Apply every
+// mutation through the Session — editing the tree directly leaves its
+// state stale. A Session is not safe for concurrent use.
+func NewSession(s Spec, doc *Tree) (*Session, error) {
+	cs, err := xfd.NewCheckerSetFor(s.FDs)
+	if err != nil {
+		return nil, err
+	}
+	return incremental.New(cs, doc)
 }
 
 // Conforms checks T ⊨ D; ConformsUnordered checks [T] ⊨ D.
