@@ -379,3 +379,18 @@ func BenchmarkE19_IncrementalChecking(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE20_SAXFusion: streaming CheckReader vs Parse + Violations
+// on the log family, gigabyte sweep included. CI runs this with
+// -count=3 and archives the cmd/experiments JSON of the same sweep as
+// the BENCH_sax.json artifact. The table's flat-memory, throughput,
+// and bit-identity gates are checked by the `cmd/experiments E20` CI
+// step; here only hard errors fail, so timing noise can't flake the
+// bench job.
+func BenchmarkE20_SAXFusion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E20SAXFusion(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 //
 //	xnf check <spec>                 test XNF, list anomalous FDs
 //	xnf check <spec> <doc.xml>       check the document against Σ (streaming)
+//	xnf check -stream <spec> <doc>   check straight off the bytes, constant memory
 //	xnf normalize <spec>             print the normalized specification
 //	xnf implies <spec> "<fd>"        decide (D, Σ) ⊢ fd
 //	xnf classify <spec>              DTD taxonomy (simple/disjunctive/N_D/...)
@@ -20,7 +21,12 @@
 // A spec file is a DTD in <!ELEMENT>/<!ATTLIST> syntax, then a line
 // "%%", then one FD per line ("path, path -> path"). "check" and
 // "watch" accept "-" in place of <doc.xml> to read the document from
-// stdin.
+// stdin; for "check", stdin documents are always checked in streaming
+// mode (-stream): Σ is folded straight off the bytes in constant
+// memory, without materializing the tree — which also means DTD
+// conformance is not checked in that mode. -maxdepth bounds element
+// nesting of streamed input (hostile deeply-nested documents fail with
+// a typed error).
 //
 // Global flags (before the subcommand) tune the implication engine:
 //
@@ -121,35 +127,39 @@ func loadSpec(path string) (xmlnorm.Spec, error) {
 
 // loadDoc reads a document from a file, or from stdin when the path
 // is "-" (so pipelines can feed generated documents straight into
-// check/watch/validate without a temp file).
+// check/watch/validate without a temp file). The reader is parsed
+// directly — the raw bytes are never buffered whole.
 func loadDoc(path string) (*xmlnorm.Tree, error) {
-	var b []byte
-	var err error
 	if path == "-" {
-		b, err = io.ReadAll(os.Stdin)
-	} else {
-		b, err = os.ReadFile(path)
+		return xmlnorm.ParseDocumentReader(os.Stdin)
 	}
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	return xmlnorm.ParseDocument(string(b))
+	defer f.Close()
+	return xmlnorm.ParseDocumentReader(f)
 }
 
 func cmdCheck(args []string) error {
 	fs := flag.NewFlagSet("check", flag.ContinueOnError)
 	witness := fs.Bool("witness", false, "print a concrete redundant document per anomaly / a violating tuple pair per FD")
+	stream := fs.Bool("stream", false, "check the document against Σ straight off the byte stream, in constant memory (skips DTD conformance); default when the document is stdin")
+	maxDepth := fs.Int("maxdepth", 0, "element nesting limit for -stream (0 = default limit, negative = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 && fs.NArg() != 2 {
-		return fmt.Errorf("usage: xnf check [-witness] <spec> [doc.xml]")
+		return fmt.Errorf("usage: xnf check [-witness] [-stream] [-maxdepth N] <spec> [doc.xml]")
 	}
 	s, err := loadSpec(fs.Arg(0))
 	if err != nil {
 		return err
 	}
 	if fs.NArg() == 2 {
+		if *stream || fs.Arg(1) == "-" {
+			return streamCheckDocument(s, fs.Arg(1), *witness, *maxDepth)
+		}
 		return checkDocument(s, fs.Arg(1), *witness)
 	}
 	ok, anomalies, err := xmlnorm.CheckXNFOpts(s, engOpts)
@@ -188,12 +198,45 @@ func checkDocument(s xmlnorm.Spec, docPath string, witness bool) error {
 	if err := xmlnorm.ConformsUnordered(doc, s.DTD); err != nil {
 		return fmt.Errorf("document does not conform to the spec: %v", err)
 	}
-	violated := xmlnorm.ViolationsOpts(doc, s.FDs, engOpts)
+	return printCheckVerdict(xmlnorm.ViolationsOpts(doc, s.FDs, engOpts), len(s.FDs), witness)
+}
+
+// streamCheckDocument is the -stream mode of "xnf check": T ⊨ Σ is
+// decided straight off the byte stream through CheckDocumentReader —
+// the document tree is never materialized and the raw bytes are never
+// buffered, so memory stays bounded by nesting depth and fold state
+// however large the document is. DTD conformance is NOT checked (it
+// needs the materialized tree); the verdict and witness output are
+// otherwise identical to the tree mode's. Stdin documents ("-") always
+// take this path.
+func streamCheckDocument(s xmlnorm.Spec, docPath string, witness bool, maxDepth int) error {
+	var r io.Reader
+	if docPath == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(docPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	violated, err := xmlnorm.CheckDocumentReader(r, s.FDs, xmlnorm.ReaderOptions{MaxDepth: maxDepth})
+	if err != nil {
+		return err
+	}
+	return printCheckVerdict(violated, len(s.FDs), witness)
+}
+
+// printCheckVerdict renders the shared verdict/witness block of the
+// document-checking modes; the streaming and tree paths must stay
+// byte-identical here.
+func printCheckVerdict(violated []xmlnorm.Violated, total int, witness bool) error {
 	if len(violated) == 0 {
-		fmt.Printf("satisfies all %d FD(s)\n", len(s.FDs))
+		fmt.Printf("satisfies all %d FD(s)\n", total)
 		return nil
 	}
-	fmt.Printf("violates %d of %d FD(s)\n", len(violated), len(s.FDs))
+	fmt.Printf("violates %d of %d FD(s)\n", len(violated), total)
 	for _, v := range violated {
 		fmt.Printf("  %s\n", v.FD)
 		if witness {

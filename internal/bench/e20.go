@@ -1,0 +1,238 @@
+package bench
+
+// E20: the SAX-fusion ablation. CheckReader folds the token stream of
+// an arbitrarily large document straight into the per-cluster FD
+// multisets — no tree, no materialized cross product — so its peak
+// heap is bounded by the fold state (|dom(lhs)| entries), not the
+// document. The ablation races it against the tree path
+// (Parse + Violations) on the log family: streaming peak heap must
+// stay flat across a 10x size sweep up to a gigabyte while the tree
+// path's peak grows with the document, throughput must stay within
+// 1.5x of the tree path, and verdicts and witness reports must stay
+// bit-identical on satisfied and violating documents alike.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"xmlnorm/internal/gen"
+	"xmlnorm/internal/xfd"
+	"xmlnorm/internal/xmltree"
+)
+
+// heapMeter tracks the peak live heap (HeapAlloc) over a measured
+// region: a background sampler reads MemStats every couple of
+// milliseconds, and Sample() lets the workload pin the reading at its
+// known point of maximum liveness (ReadMemStats stops the world, so
+// the sampler alone could miss a short-lived peak).
+type heapMeter struct {
+	mu   sync.Mutex
+	peak uint64
+	stop chan struct{}
+	done chan struct{}
+}
+
+func startHeapMeter() *heapMeter {
+	m := &heapMeter{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(m.done)
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-tick.C:
+				m.Sample()
+			}
+		}
+	}()
+	return m
+}
+
+func (m *heapMeter) Sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.mu.Lock()
+	if ms.HeapAlloc > m.peak {
+		m.peak = ms.HeapAlloc
+	}
+	m.mu.Unlock()
+}
+
+// Stop ends sampling and returns the peak HeapAlloc observed.
+func (m *heapMeter) Stop() uint64 {
+	close(m.stop)
+	<-m.done
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peak
+}
+
+// peakHeap runs f with a fresh heap meter around it (GC first, so the
+// baseline is the settled pre-run heap) and returns the peak live heap
+// and wall time of the run. f receives the meter so it can Sample() at
+// its point of maximum liveness.
+func peakHeap(f func(m *heapMeter) error) (uint64, time.Duration, error) {
+	runtime.GC()
+	m := startHeapMeter()
+	start := time.Now()
+	err := f(m)
+	wall := time.Since(start)
+	peak := m.Stop()
+	return peak, wall, err
+}
+
+// e20Seed fixes the log-family generator seed so the tables and the
+// bit-identity gates are reproducible.
+const e20Seed = 20020802
+
+// E20SAXFusion measures the parse-to-check fusion on the log family.
+// Gates: flat streaming memory across a 10x size sweep (peak at 1 GB
+// within 1.2x of peak at 100 MB, above a small noise floor), growing
+// tree memory (10x the bytes must at least 3x the peak), streaming
+// throughput within 1.5x of the tree path at 100 MB, and bit-identical
+// verdicts and canonical witness reports on satisfied and violating
+// documents.
+func E20SAXFusion() (*Table, error) {
+	cs, err := xfd.NewCheckerSetFor(gen.LogFDs())
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "E20",
+		Title:  "SAX fusion: streaming CheckReader vs Parse + Violations",
+		Claim:  "token-fused checking validates arbitrarily large documents in constant memory with tree-identical verdicts",
+		Header: Row{"path", "doc MB", "peak heap MB", "wall ms", "MB/s"},
+	}
+	const keys, padding = 64, 96
+	mbps := func(size int64, wall time.Duration) string {
+		if wall <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f", float64(size)/(1<<20)/wall.Seconds())
+	}
+
+	// Streaming sweep: documents are generated lazily, so nothing but
+	// the checker's own state can grow with the size.
+	streamSizes := []int64{100 << 20, 320 << 20, 1000 << 20}
+	streamPeak := make([]uint64, len(streamSizes))
+	for i, size := range streamSizes {
+		peak, wall, err := peakHeap(func(*heapMeter) error {
+			vs, err := cs.ViolationsReader(gen.SizedLog(size, e20Seed, keys, padding, false), xfd.ReaderOptions{})
+			if err != nil {
+				return err
+			}
+			if len(vs) != 0 {
+				return fmt.Errorf("satisfied document reported %d violations", len(vs))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		streamPeak[i] = peak
+		t.Rows = append(t.Rows, Row{"stream", fmt.Sprint(size >> 20), mb(peak), ms(wall), mbps(size, wall)})
+	}
+
+	// Tree sweep: materialize the same family, parse, check. The
+	// explicit Sample with the tree still live pins the peak even if
+	// the sampler misses it.
+	treeSizes := []int64{10 << 20, 100 << 20}
+	treePeak := make([]uint64, len(treeSizes))
+	var treeWall100 time.Duration
+	for i, size := range treeSizes {
+		raw, err := io.ReadAll(gen.SizedLog(size, e20Seed, keys, padding, false))
+		if err != nil {
+			return nil, err
+		}
+		peak, wall, err := peakHeap(func(m *heapMeter) error {
+			tree, err := xmltree.Parse(bytes.NewReader(raw))
+			if err != nil {
+				return err
+			}
+			vs := cs.Violations(tree)
+			m.Sample()
+			runtime.KeepAlive(tree)
+			if len(vs) != 0 {
+				return fmt.Errorf("satisfied document reported %d violations", len(vs))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		treePeak[i] = peak
+		if size == 100<<20 {
+			treeWall100 = wall
+		}
+		t.Rows = append(t.Rows, Row{"tree", fmt.Sprint(size >> 20), mb(peak), ms(wall), mbps(size, wall)})
+		raw = nil
+		runtime.GC()
+	}
+
+	// Throughput at 100 MB, both paths over the same materialized
+	// bytes so disk and generator costs cancel.
+	raw, err := io.ReadAll(gen.SizedLog(100<<20, e20Seed, keys, padding, false))
+	if err != nil {
+		return nil, err
+	}
+	streamWall100Start := time.Now()
+	if _, err := cs.ViolationsReader(bytes.NewReader(raw), xfd.ReaderOptions{}); err != nil {
+		return nil, err
+	}
+	streamWall100 := time.Since(streamWall100Start)
+	raw = nil
+	runtime.GC()
+
+	// Gates. The noise floor keeps GC jitter on small absolute heaps
+	// from tripping the flatness ratio.
+	const floor = 32 << 20
+	base := streamPeak[0]
+	if base < floor {
+		base = floor
+	}
+	t.Expect(float64(streamPeak[len(streamPeak)-1]) <= 1.2*float64(base),
+		"E20: streaming peak grew %.2fx over a 10x size sweep (%s MB -> %s MB), want flat (<= 1.2x above a %d MB floor)",
+		float64(streamPeak[len(streamPeak)-1])/float64(base), mb(streamPeak[0]), mb(streamPeak[len(streamPeak)-1]), floor>>20)
+	t.Expect(float64(treePeak[1]) >= 3*float64(treePeak[0]),
+		"E20: tree peak grew only %.2fx over a 10x size sweep, want >= 3x (memory should scale with the document)",
+		float64(treePeak[1])/float64(treePeak[0]))
+	t.Expect(streamWall100 <= treeWall100+treeWall100/2,
+		"E20: streaming 100 MB took %s, more than 1.5x the tree path's %s", streamWall100, treeWall100)
+
+	// Bit-identity: satisfied and violating documents, canonical
+	// reports and verdicts equal across the two paths.
+	for _, violate := range []bool{false, true} {
+		raw, err := io.ReadAll(gen.SizedLog(20<<20, e20Seed, keys, padding, violate))
+		if err != nil {
+			return nil, err
+		}
+		tree, err := xmltree.Parse(bytes.NewReader(raw))
+		if err != nil {
+			return nil, err
+		}
+		want := cs.Violations(tree)
+		got, err := cs.ViolationsReader(bytes.NewReader(raw), xfd.ReaderOptions{})
+		if err != nil {
+			return nil, err
+		}
+		t.Expect((len(want) > 0) == violate,
+			"E20: violate=%v document yielded %d tree violations", violate, len(want))
+		t.Expect(xfd.CanonicalReport(want) == xfd.CanonicalReport(got),
+			"E20: violate=%v canonical reports differ between tree and stream", violate)
+		sat, err := cs.SatisfiesAllReader(bytes.NewReader(raw), xfd.ReaderOptions{})
+		if err != nil {
+			return nil, err
+		}
+		t.Expect(sat == cs.SatisfiesAll(tree),
+			"E20: violate=%v verdicts differ between tree and stream", violate)
+	}
+
+	t.Notes = "streaming rows check lazily generated documents end to end; tree rows parse materialized bytes; throughput gate compares both paths over the same 100 MB in-memory document"
+	return t, nil
+}

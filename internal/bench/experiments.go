@@ -1008,6 +1008,7 @@ var registry = []struct {
 	{"E17", func(Options) (*Table, error) { return E17PathInterning() }},
 	{"E18", func(Options) (*Table, error) { return E18StreamingTuples() }},
 	{"E19", func(Options) (*Table, error) { return E19IncrementalChecking() }},
+	{"E20", func(Options) (*Table, error) { return E20SAXFusion() }},
 }
 
 // Run executes the selected experiments in suite order with the given

@@ -7,7 +7,9 @@
 package gen
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"math/rand"
 	"strings"
 
@@ -403,4 +405,142 @@ func RandomSimpleDTD(rng *rand.Rand) *dtd.DTD {
 		panic(err)
 	}
 	return d
+}
+
+// LogDTD is the streaming-benchmark family: an append-only event log
+//
+//	<!ELEMENT log (entry*)>  entry(detail*, note?)  detail, note #PCDATA
+//	<!ATTLIST entry k, v>
+//
+// whose FD-relevant paths form a single chain (log.entry.note), so the
+// token-fused checker can validate it without collecting any subtree,
+// while the detail padding exercises the skip path. Documents of any
+// byte size come from SizedLog.
+func LogDTD() *dtd.DTD {
+	d, err := dtd.Parse(`<!ELEMENT log (entry*)>
+<!ELEMENT entry (detail*,note?)>
+<!ATTLIST entry k CDATA #REQUIRED>
+<!ATTLIST entry v CDATA #REQUIRED>
+<!ELEMENT detail (#PCDATA)>
+<!ELEMENT note (#PCDATA)>
+`)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// LogFDs is the Σ checked over LogDTD documents: the key attribute
+// determines the value attribute and the note text — both hold on
+// SizedLog output unless its violate knob is set.
+func LogFDs() []xfd.FD {
+	return []xfd.FD{
+		xfd.MustParse("log.entry.@k -> log.entry.@v"),
+		xfd.MustParse("log.entry.@k -> log.entry.note.S"),
+	}
+}
+
+// logReader lazily generates a LogDTD document of roughly target
+// bytes; see SizedLog.
+type logReader struct {
+	buf     []byte
+	off     int
+	target  int64
+	written int64 // bytes of entries emitted so far (excluding open/close tags)
+	entry   int64
+	keys    int
+	padding int
+	violate bool
+	seed    int64
+	state   int // 0 header, 1 entries, 2 violating entry, 3 footer, 4 done
+	pad     []byte
+}
+
+// splitmix is a tiny deterministic hash for the entry -> key mapping,
+// so documents are reproducible per seed without math/rand state.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (g *logReader) appendEntry(key int, v, note string) {
+	g.buf = append(g.buf, "<entry k=\"k"...)
+	g.buf = fmt.Appendf(g.buf, "%d", key)
+	g.buf = append(g.buf, "\" v=\""...)
+	g.buf = append(g.buf, v...)
+	g.buf = append(g.buf, "\"><detail>"...)
+	g.buf = append(g.buf, g.pad...)
+	g.buf = append(g.buf, "</detail><note>"...)
+	g.buf = append(g.buf, note...)
+	g.buf = append(g.buf, "</note></entry>\n"...)
+}
+
+func (g *logReader) fill() {
+	switch g.state {
+	case 0:
+		g.buf = append(g.buf, "<log>\n"...)
+		g.state = 1
+	case 1:
+		if g.written >= g.target {
+			if g.violate {
+				g.state = 2
+			} else {
+				g.state = 3
+			}
+			return
+		}
+		key := int(splitmix(uint64(g.seed)+uint64(g.entry)) % uint64(g.keys))
+		g.entry++
+		before := len(g.buf)
+		g.appendEntry(key, fmt.Sprintf("v%d", key), fmt.Sprintf("n%d", key))
+		g.written += int64(len(g.buf) - before)
+	case 2:
+		// One conflicting duplicate of key 0 at the very end: same k,
+		// different v and note — the last entry is always the second
+		// tuple of the first conflict, for deterministic witnesses.
+		g.appendEntry(0, "CONFLICT", "conflict-note")
+		g.state = 3
+	case 3:
+		g.buf = append(g.buf, "</log>\n"...)
+		g.state = 4
+	}
+}
+
+func (g *logReader) Read(p []byte) (int, error) {
+	for g.off == len(g.buf) {
+		if g.state == 4 {
+			return 0, io.EOF
+		}
+		g.buf, g.off = g.buf[:0], 0 // reuse the chunk storage
+		g.fill()
+	}
+	n := copy(p, g.buf[g.off:])
+	g.off += n
+	return n, nil
+}
+
+// SizedLog returns a reader producing a LogDTD document of roughly
+// target bytes (one entry past it), generated lazily and
+// deterministically from the seed — a gigabyte-scale document costs no
+// gigabyte of memory to produce, which is what the streaming-checker
+// experiments need. Entry keys are drawn from a pool of keys distinct
+// values, so the checker's fold state stays bounded regardless of
+// size; v and note are functions of k, so LogFDs hold — unless violate
+// is set, which appends one conflicting duplicate of key 0 as the
+// final entry. padding sets the <detail> text length: bytes the
+// checker must scan but never retain.
+func SizedLog(target int64, seed int64, keys, padding int, violate bool) io.Reader {
+	if keys < 1 {
+		keys = 1
+	}
+	return &logReader{
+		target:  target,
+		seed:    seed,
+		keys:    keys,
+		padding: padding,
+		violate: violate,
+		pad:     bytes.Repeat([]byte{'x'}, padding),
+	}
 }

@@ -1,0 +1,57 @@
+package gen
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"xmlnorm/internal/xfd"
+	"xmlnorm/internal/xmltree"
+)
+
+// TestSizedLog: the generator must hit its byte target, produce
+// conforming documents, satisfy LogFDs by construction, and flip to a
+// single deterministic violation with the violate knob.
+func TestSizedLog(t *testing.T) {
+	const target = 64 << 10
+	b, err := io.ReadAll(SizedLog(target, 7, 16, 32, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := int64(len(b)); n < target || n > target+4096 {
+		t.Fatalf("size %d, want ~%d", n, target)
+	}
+	tree, err := xmltree.Parse(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := xmltree.Conforms(tree, LogDTD()); err != nil {
+		t.Fatalf("conformance: %v", err)
+	}
+	if !xfd.SatisfiesAll(tree, LogFDs()) {
+		t.Fatal("satisfied variant violates LogFDs")
+	}
+
+	// Determinism: same parameters, same bytes.
+	b2, err := io.ReadAll(SizedLog(target, 7, 16, 32, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Fatal("SizedLog is not deterministic")
+	}
+
+	// Violating variant: both FDs break on the trailing duplicate.
+	bv, err := io.ReadAll(SizedLog(16<<10, 7, 16, 32, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vtree, err := xmltree.Parse(bytes.NewReader(bv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := xfd.ViolationReport(vtree, LogFDs())
+	if len(report) != 2 {
+		t.Fatalf("violating variant: %d violated FDs, want 2", len(report))
+	}
+}

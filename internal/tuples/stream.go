@@ -62,7 +62,17 @@ func (p *plan) stream(yield func(Tuple) bool) bool {
 	if p.root == nil {
 		return true
 	}
-	scratch := NewTuple(p.u)
+	return enumerate(p.root, NewTuple(p.u), yield)
+}
+
+// enumerate backtracks over sn's choice points, presenting every
+// complete assignment of the subtree through the scratch tuple.
+// Assignments already present in the scratch (an ancestor context set
+// by the caller, as the token streamer does for the live spine) are
+// part of every yielded tuple and are left untouched. Reports whether
+// the enumeration ran to completion; every call yields at least one
+// tuple unless stopped.
+func enumerate(sn *planNode, scratch Tuple, yield func(Tuple) bool) bool {
 	conts := make([]cont, 0, 16)
 	var visit func(sn *planNode, rest int) bool
 	var groupsFrom func(sn *planNode, g, rest int) bool
@@ -95,7 +105,7 @@ func (p *plan) stream(yield func(Tuple) bool) bool {
 		}
 		return ok
 	}
-	return visit(p.root, -1)
+	return visit(sn, -1)
 }
 
 // compileTree builds the maximal-tuple plan of a tree against a path

@@ -1,0 +1,153 @@
+package tuples_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/paths"
+	"xmlnorm/internal/tuples"
+	"xmlnorm/internal/xmltree"
+)
+
+func mustProjector(t *testing.T, pathStrs ...string) *tuples.Projector {
+	t.Helper()
+	ps := make([]dtd.Path, len(pathStrs))
+	for i, s := range pathStrs {
+		ps[i] = dtd.MustParsePath(s)
+	}
+	pr, err := tuples.NewProjector(paths.ForQuery(ps), ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+func collectTokens(t *testing.T, pr *tuples.Projector, doc string) []tuples.Tuple {
+	t.Helper()
+	var out []tuples.Tuple
+	if err := pr.StreamTokens(strings.NewReader(doc), 0, func(tup tuples.Tuple) bool {
+		out = append(out, tup.Clone())
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestTokenStreamRootMismatch: a query path that does not start at the
+// document's root label makes every projection empty — no yields, no
+// error, like Projector.Stream.
+func TestTokenStreamRootMismatch(t *testing.T) {
+	pr := mustProjector(t, "r.c.@k")
+	if got := collectTokens(t, pr, "<q><c k=\"1\"/></q>"); len(got) != 0 {
+		t.Fatalf("root mismatch: got %d tuples, want 0", len(got))
+	}
+}
+
+// TestTokenStreamSkipsIrrelevant: subtrees whose label is outside the
+// projector's relevant tree are skipped entirely — including elements
+// inside them that share a relevant label deeper down.
+func TestTokenStreamSkipsIrrelevant(t *testing.T) {
+	pr := mustProjector(t, "r.c.@k")
+	doc := "<r><pad><c k=\"inner\"/></pad><c k=\"a\"/><pad><pad/></pad><c k=\"b\"/></r>"
+	got := collectTokens(t, pr, doc)
+	if len(got) != 2 {
+		t.Fatalf("got %d tuples, want 2", len(got))
+	}
+	for i, want := range []string{"a", "b"} {
+		v, ok := got[i].Get(dtd.MustParsePath("r.c.@k"))
+		if !ok || v.Str() != want {
+			t.Fatalf("tuple %d: got %v, want %q", i, v, want)
+		}
+	}
+}
+
+// TestTokenStreamMissingValues: absent attributes and absent relevant
+// children are ⊥, exactly as in the tree path.
+func TestTokenStreamMissingValues(t *testing.T) {
+	pr := mustProjector(t, "r.c.@k", "r.c.d.S")
+	doc := "<r><c><d>x</d></c><c k=\"1\"/></r>"
+	got := collectTokens(t, pr, doc)
+	if len(got) != 2 {
+		t.Fatalf("got %d tuples, want 2", len(got))
+	}
+	if _, ok := got[0].Get(dtd.MustParsePath("r.c.@k")); ok {
+		t.Fatal("tuple 0: @k should be ⊥")
+	}
+	if v, ok := got[0].Get(dtd.MustParsePath("r.c.d.S")); !ok || v.Str() != "x" {
+		t.Fatalf("tuple 0: d.S = %v, want \"x\"", v)
+	}
+	if v, ok := got[1].Get(dtd.MustParsePath("r.c.@k")); !ok || v.Str() != "1" {
+		t.Fatalf("tuple 1: @k = %v, want \"1\"", v)
+	}
+	if _, ok := got[1].Get(dtd.MustParsePath("r.c.d.S")); ok {
+		t.Fatal("tuple 1: d.S should be ⊥")
+	}
+}
+
+// TestTokenStreamDepthError: the depth guard surfaces as a typed
+// error from the reader-driven entry point.
+func TestTokenStreamDepthError(t *testing.T) {
+	pr := mustProjector(t, "r.c.@k")
+	err := pr.StreamTokens(strings.NewReader("<r><c><c><c/></c></c></r>"), 2, func(tuples.Tuple) bool { return true })
+	var de *xmltree.DepthError
+	if !errors.As(err, &de) {
+		t.Fatalf("want DepthError, got %v", err)
+	}
+}
+
+// TestStreamTokensOutOfUniverse: the maximal streamer reports document
+// paths outside the universe with compileTree's exact messages, before
+// yielding anything.
+func TestStreamTokensOutOfUniverse(t *testing.T) {
+	tree := xmltree.MustParseString("<r><c k=\"1\"/></r>")
+	u := tuples.UniverseForTree(tree)
+	cases := []struct {
+		doc, want string
+	}{
+		{"<z/>", `tuples: root "z" is not in the path universe`},
+		{"<r><q/></r>", "tuples: r.q is not in the path universe"},
+		{"<r><c j=\"2\"/></r>", "tuples: r.c.@j is not in the path universe"},
+		{"<r><c>txt</c></r>", "tuples: r.c.S is not in the path universe"},
+	}
+	for _, c := range cases {
+		yields := 0
+		err := tuples.StreamTokens(u, strings.NewReader(c.doc), 0, func(tuples.Tuple) bool {
+			yields++
+			return true
+		})
+		if err == nil || err.Error() != c.want {
+			t.Errorf("%q: error %v, want %q", c.doc, err, c.want)
+		}
+		if yields != 0 {
+			t.Errorf("%q: %d tuples yielded before the error", c.doc, yields)
+		}
+	}
+}
+
+// TestTokenStreamCrossProduct: a node with two relevant child labels
+// is a genuine cross product; the token path must enumerate it in the
+// tree path's order even though nothing can be emitted until the node
+// closes.
+func TestTokenStreamCrossProduct(t *testing.T) {
+	pr := mustProjector(t, "r.a.@x", "r.b.@y")
+	doc := "<r><a x=\"1\"/><b y=\"p\"/><a x=\"2\"/><b y=\"q\"/></r>"
+	got := collectTokens(t, pr, doc)
+	var pairs []string
+	for _, tup := range got {
+		x, _ := tup.Get(dtd.MustParsePath("r.a.@x"))
+		y, _ := tup.Get(dtd.MustParsePath("r.b.@y"))
+		pairs = append(pairs, x.Str()+y.Str())
+	}
+	want := []string{"1p", "1q", "2p", "2q"}
+	if len(pairs) != len(want) {
+		t.Fatalf("got %v, want %v", pairs, want)
+	}
+	for i := range want {
+		if pairs[i] != want[i] {
+			t.Fatalf("got %v, want %v", pairs, want)
+		}
+	}
+}

@@ -1,6 +1,14 @@
 package xfd
 
-import "testing"
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"xmlnorm/internal/paperdata"
+	"xmlnorm/internal/xmltree"
+)
 
 // FuzzParse checks the FD parser never panics and round-trips.
 func FuzzParse(f *testing.F) {
@@ -22,4 +30,86 @@ func FuzzParse(f *testing.F) {
 			t.Fatalf("round trip changed %q", input)
 		}
 	})
+}
+
+// FuzzCheckReader feeds raw XML bytes through the streaming checker:
+// it must never panic, must reject exactly the inputs xmltree.Parse
+// rejects (with typed errors and identical messages, modulo the depth
+// guard), and must reproduce the tree checker's canonical violation
+// report whenever the input parses.
+func FuzzCheckReader(f *testing.F) {
+	sigma := []FD{
+		MustParse("courses.course.@cno -> courses.course.title.S"),
+		MustParse("r.c.@k -> r.c.@v"),
+		MustParse("r.c.@k -> r.c"),
+	}
+	cs, err := NewCheckerSetFor(sigma)
+	if err != nil {
+		f.Fatal(err)
+	}
+	courses := []byte(paperdata.MustRead("courses.xml"))
+	f.Add(courses)
+	f.Add(courses[:len(courses)/2]) // malformed truncation
+	f.Add([]byte(paperdata.MustRead("dblp.xml")))
+	for _, s := range []string{
+		"<r><c k=\"1\" v=\"a\"/><c k=\"1\" v=\"b\"/></r>",
+		"<r><c k=\"1\"/><c k=\"1\"/></r>",
+		"<r>text<c/></r>",
+		"<r/><r/>",
+		"<r>",
+		"</r>",
+		"",
+		"<r><pad><deep><deep/></deep></pad></r>",
+		"<r k=\"&broken;\"/>",
+	} {
+		f.Add([]byte(s))
+	}
+	const depth = 64
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, rerr := cs.ViolationsReader(bytes.NewReader(data), ReaderOptions{MaxDepth: depth})
+		tree, perr := xmltree.Parse(bytes.NewReader(data))
+		if rerr != nil {
+			var de *xmltree.DepthError
+			if errors.As(rerr, &de) {
+				if de.Limit != depth || de.Depth != depth+1 {
+					t.Fatalf("DepthError = %+v, want limit %d", de, depth)
+				}
+				return // Parse has no depth limit; no agreement to check
+			}
+			var me *xmltree.MalformedError
+			if !errors.As(rerr, &me) {
+				t.Fatalf("untyped reader error: %v", rerr)
+			}
+			if perr == nil {
+				t.Fatalf("reader rejected input Parse accepts: %v", rerr)
+			}
+			if rerr.Error() != perr.Error() {
+				t.Fatalf("reader error %q, Parse error %q", rerr, perr)
+			}
+			return
+		}
+		if perr != nil {
+			t.Fatalf("reader accepted input Parse rejects: %v", perr)
+		}
+		want := cs.Violations(tree)
+		if w, g := CanonicalReport(want), CanonicalReport(got); w != g {
+			t.Fatalf("reports differ\ntree:\n%s\nreader:\n%s\ninput: %q", w, g, data)
+		}
+	})
+}
+
+// TestFuzzCheckReaderSeeds runs the fuzz body over its seed corpus in
+// a regular test run (go test does run seeds, but keeping an explicit
+// deep-nesting probe here pins the depth-guard interplay).
+func TestFuzzCheckReaderSeeds(t *testing.T) {
+	cs, err := NewCheckerSetFor([]FD{MustParse("r.c.@k -> r.c.@v")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := strings.Repeat("<r>", 65) + strings.Repeat("</r>", 65)
+	_, rerr := cs.ViolationsReader(strings.NewReader(over), ReaderOptions{MaxDepth: 64})
+	var de *xmltree.DepthError
+	if !errors.As(rerr, &de) {
+		t.Fatalf("want DepthError, got %v", rerr)
+	}
 }

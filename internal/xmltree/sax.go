@@ -1,0 +1,185 @@
+package xmltree
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file is the streaming (SAX-style) front end of the data model:
+// WalkTokens drives encoding/xml over a reader and delivers the
+// document as Open/Text/Close callbacks, enforcing exactly the same
+// structural rules as Parse — one root, no mixed content, no character
+// data outside the root, balanced tags. Parse itself is a WalkTokens
+// client that materializes a Tree; the tuple streamer (internal/tuples)
+// is a client that never does, which is what makes constant-memory
+// validation of arbitrarily large documents possible.
+
+// DefaultMaxDepth is the element-nesting bound streaming entry points
+// apply when the caller does not choose one. Hostile deeply-nested
+// input then fails with a DepthError instead of growing state without
+// bound.
+const DefaultMaxDepth = 10000
+
+// MalformedError reports input rejected by the XML reader or by the
+// data model's structural rules (Definition 2: no mixed content, one
+// root, element or string content). It wraps the same errors Parse
+// returns; test with errors.As.
+type MalformedError struct {
+	Err error
+}
+
+func (e *MalformedError) Error() string { return e.Err.Error() }
+
+// Unwrap returns the underlying cause.
+func (e *MalformedError) Unwrap() error { return e.Err }
+
+func malformedf(format string, args ...any) error {
+	return &MalformedError{Err: fmt.Errorf("xmltree: "+format, args...)}
+}
+
+// DepthError reports element nesting beyond the configured limit.
+type DepthError struct {
+	Depth, Limit int
+}
+
+func (e *DepthError) Error() string {
+	return fmt.Sprintf("xmltree: element nesting depth %d exceeds the limit %d", e.Depth, e.Limit)
+}
+
+// Attr is one attribute of a streamed element. Attributes are
+// delivered in document order with xmlns declarations removed;
+// repeated names are delivered as written, and consumers that want
+// Parse's map semantics must let the last occurrence win.
+type Attr struct {
+	Name, Value string
+}
+
+// TokenCallbacks receives a document as structural events. Any nil
+// callback is skipped. Open's attrs slice and Text's byte slice are
+// only valid for the duration of the call — the walker reuses both.
+// Text is delivered at most once per element, immediately before its
+// Close, with all character-data chunks concatenated (whitespace-only
+// chunks between elements are dropped, as in Parse). A non-nil error
+// from any callback aborts the walk and is returned verbatim.
+type TokenCallbacks struct {
+	Open  func(label string, attrs []Attr) error
+	Text  func(text []byte) error
+	Close func(label string) error
+}
+
+// wtFrame is one open element during a walk.
+type wtFrame struct {
+	label       string
+	hasChildren bool
+}
+
+// WalkTokens streams the XML document from r through cb. It accepts
+// exactly the documents Parse accepts and rejects the rest with a
+// *MalformedError carrying the same message Parse reports, except that
+// a positive maxDepth additionally rejects nesting beyond it with a
+// *DepthError (maxDepth <= 0 means unlimited). Memory use is bounded
+// by the nesting depth plus the largest single text node — nothing
+// proportional to the document is retained.
+func WalkTokens(r io.Reader, maxDepth int, cb TokenCallbacks) error {
+	dec := xml.NewDecoder(r)
+	var stack []wtFrame
+	var text []byte  // pending character data of the innermost element
+	var attrs []Attr // reused per StartElement
+	rootSeen := false
+	// flushText delivers and clears the pending character data of the
+	// innermost element; Parse's rules guarantee only the innermost
+	// open element can be holding text.
+	flushText := func() error {
+		if len(text) == 0 {
+			return nil
+		}
+		var err error
+		if cb.Text != nil {
+			err = cb.Text(text)
+		}
+		text = text[:0]
+		return err
+	}
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return &MalformedError{Err: fmt.Errorf("xmltree: %v", err)}
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			label := elemName(t.Name)
+			if len(stack) == 0 {
+				if rootSeen {
+					return malformedf("multiple root elements")
+				}
+				rootSeen = true
+			} else {
+				top := &stack[len(stack)-1]
+				if len(text) > 0 {
+					return malformedf("mixed content under <%s>", top.label)
+				}
+				top.hasChildren = true
+			}
+			if maxDepth > 0 && len(stack)+1 > maxDepth {
+				return &DepthError{Depth: len(stack) + 1, Limit: maxDepth}
+			}
+			attrs = attrs[:0]
+			for _, a := range t.Attr {
+				name := elemName(a.Name)
+				if name == "xmlns" || strings.HasPrefix(name, "xmlns:") {
+					continue
+				}
+				attrs = append(attrs, Attr{Name: name, Value: a.Value})
+			}
+			if cb.Open != nil {
+				if err := cb.Open(label, attrs); err != nil {
+					return err
+				}
+			}
+			stack = append(stack, wtFrame{label: label})
+		case xml.EndElement:
+			if len(stack) == 0 {
+				// Unreachable with encoding/xml's strict decoder, which
+				// reports stray end tags itself; kept as a defensive rule.
+				return malformedf("unbalanced end tag </%s>", elemName(t.Name))
+			}
+			if err := flushText(); err != nil {
+				return err
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if cb.Close != nil {
+				if err := cb.Close(top.label); err != nil {
+					return err
+				}
+			}
+		case xml.CharData:
+			if len(bytes.TrimSpace(t)) == 0 {
+				continue
+			}
+			if len(stack) == 0 {
+				return malformedf("character data outside the root element")
+			}
+			top := &stack[len(stack)-1]
+			if top.hasChildren {
+				return malformedf("mixed content under <%s>", top.label)
+			}
+			text = append(text, t...)
+		case xml.Comment, xml.ProcInst, xml.Directive:
+			// Ignored.
+		}
+	}
+	if !rootSeen {
+		return malformedf("no root element")
+	}
+	if len(stack) != 0 {
+		return malformedf("unbalanced document")
+	}
+	return nil
+}

@@ -12,72 +12,40 @@ import (
 // node's string content. Mixed content (text next to element children)
 // is rejected, since the paper's data model (Definition 2) excludes it.
 // Namespaces are not interpreted; prefixed names are kept verbatim.
+//
+// Parse is a WalkTokens client with no depth limit, so it accepts
+// exactly the documents the streaming checkers accept; rejections are
+// *MalformedError values. Callers that cannot afford the materialized
+// tree should stream through WalkTokens instead.
 func Parse(r io.Reader) (*Tree, error) {
-	dec := xml.NewDecoder(r)
 	var stack []*Node
 	var root *Node
-	for {
-		tok, err := dec.Token()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("xmltree: %v", err)
-		}
-		switch t := tok.(type) {
-		case xml.StartElement:
-			n := NewNode(elemName(t.Name))
-			for _, a := range t.Attr {
-				name := elemName(a.Name)
-				if name == "xmlns" || strings.HasPrefix(name, "xmlns:") {
-					continue
-				}
-				n.SetAttr(name, a.Value)
+	err := WalkTokens(r, 0, TokenCallbacks{
+		Open: func(label string, attrs []Attr) error {
+			n := NewNode(label)
+			for _, a := range attrs {
+				n.SetAttr(a.Name, a.Value)
 			}
 			if len(stack) == 0 {
-				if root != nil {
-					return nil, fmt.Errorf("xmltree: multiple root elements")
-				}
 				root = n
 			} else {
 				parent := stack[len(stack)-1]
-				if parent.HasText {
-					return nil, fmt.Errorf("xmltree: mixed content under <%s>", parent.Label)
-				}
 				parent.Children = append(parent.Children, n)
 			}
 			stack = append(stack, n)
-		case xml.EndElement:
-			if len(stack) == 0 {
-				return nil, fmt.Errorf("xmltree: unbalanced end tag </%s>", elemName(t.Name))
-			}
+			return nil
+		},
+		Text: func(text []byte) error {
+			stack[len(stack)-1].SetText(string(text))
+			return nil
+		},
+		Close: func(string) error {
 			stack = stack[:len(stack)-1]
-		case xml.CharData:
-			s := string(t)
-			if strings.TrimSpace(s) == "" {
-				continue
-			}
-			if len(stack) == 0 {
-				return nil, fmt.Errorf("xmltree: character data outside the root element")
-			}
-			cur := stack[len(stack)-1]
-			if len(cur.Children) > 0 {
-				return nil, fmt.Errorf("xmltree: mixed content under <%s>", cur.Label)
-			}
-			if cur.HasText {
-				cur.Text += s
-			} else {
-				cur.SetText(s)
-			}
-		case xml.Comment, xml.ProcInst, xml.Directive:
-			// Ignored.
-		}
-	}
-	if root == nil {
-		return nil, fmt.Errorf("xmltree: no root element")
-	}
-	if len(stack) != 0 {
-		return nil, fmt.Errorf("xmltree: unbalanced document")
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
 	return NewTree(root), nil
 }

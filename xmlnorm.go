@@ -31,6 +31,7 @@ package xmlnorm
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"xmlnorm/internal/dtd"
@@ -89,6 +90,17 @@ type (
 	// retracting and re-asserting only the tree tuples the edit can
 	// touch, instead of re-streaming the whole tree. See NewSession.
 	Session = incremental.Session
+	// ReaderOptions configures the streaming checker entry points
+	// (CheckDocumentReader); the zero value applies the default
+	// nesting bound.
+	ReaderOptions = xfd.ReaderOptions
+	// MalformedError is the typed failure for input rejected by the
+	// XML reader or the data model's structural rules; test with
+	// errors.As.
+	MalformedError = xmltree.MalformedError
+	// DepthError is the typed failure for element nesting beyond the
+	// configured streaming bound; test with errors.As.
+	DepthError = xmltree.DepthError
 )
 
 // ParseSpec reads the "DTD %% FDs" specification format. The FD section
@@ -132,6 +144,30 @@ func FormatSpec(s Spec) string {
 // ParseDocument reads an XML document.
 func ParseDocument(text string) (*Tree, error) {
 	return xmltree.ParseString(text)
+}
+
+// ParseDocumentReader reads an XML document from a reader without
+// buffering the raw bytes (the tree is still materialized; see
+// CheckDocumentReader for checking without one).
+func ParseDocumentReader(r io.Reader) (*Tree, error) {
+	return xmltree.Parse(r)
+}
+
+// CheckDocumentReader checks the document arriving on r against Σ in
+// one streaming pass, without materializing its tree or buffering its
+// bytes: memory is bounded by nesting depth and the checker's fold
+// state, independent of document length for chain-shaped dependencies.
+// It returns the violated FDs with first-conflict witnesses in Σ
+// order, exactly as Violations reports on the parsed tree. An empty Σ
+// degenerates to pure structural validation. Malformed input fails
+// with a *MalformedError, nesting beyond ReaderOptions.MaxDepth with a
+// *DepthError.
+func CheckDocumentReader(r io.Reader, sigma []FD, opts ReaderOptions) ([]Violated, error) {
+	cs, err := xfd.NewCheckerSetFor(sigma)
+	if err != nil {
+		return nil, err
+	}
+	return cs.ViolationsReader(r, opts)
 }
 
 // CheckXNF decides whether the specification is in XNF and returns the
