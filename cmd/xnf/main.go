@@ -17,6 +17,7 @@
 //	xnf transform <spec> <doc.xml>   normalize and migrate the document
 //	xnf validate <spec> <doc.xml>    conformance + FD satisfaction
 //	xnf watch <spec> <doc.xml>       apply an edit script, re-check incrementally
+//	xnf serve <spec>                 host documents over HTTP/JSON (see serve.go)
 //
 // A spec file is a DTD in <!ELEMENT>/<!ATTLIST> syntax, then a line
 // "%%", then one FD per line ("path, path -> path"). "check" and
@@ -71,7 +72,7 @@ func main() {
 var errNegative = errors.New("negative result")
 
 func usage() error {
-	return fmt.Errorf("usage: xnf [-parallel N] [-cache=BOOL] <check|normalize|implies|classify|tuples|redundancy|transform|validate|cover|watch> ...")
+	return fmt.Errorf("usage: xnf [-parallel N] [-cache=BOOL] <check|normalize|implies|classify|tuples|redundancy|transform|validate|cover|watch|serve> ...")
 }
 
 // engOpts is the engine configuration shared by all subcommands, set
@@ -112,6 +113,8 @@ func run(args []string) error {
 		return cmdCover(rest)
 	case "watch":
 		return cmdWatch(rest)
+	case "serve":
+		return cmdServe(rest)
 	default:
 		return usage()
 	}
@@ -146,21 +149,26 @@ func cmdCheck(args []string) error {
 	witness := fs.Bool("witness", false, "print a concrete redundant document per anomaly / a violating tuple pair per FD")
 	stream := fs.Bool("stream", false, "check the document against Σ straight off the byte stream, in constant memory (skips DTD conformance); default when the document is stdin")
 	maxDepth := fs.Int("maxdepth", 0, "element nesting limit for -stream (0 = default limit, negative = unlimited)")
+	jsonOut := fs.Bool("json", false, "emit the document verdict as one JSON object (the xnf serve wire format)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 && fs.NArg() != 2 {
-		return fmt.Errorf("usage: xnf check [-witness] [-stream] [-maxdepth N] <spec> [doc.xml]")
+		return fmt.Errorf("usage: xnf check [-witness] [-stream] [-maxdepth N] [-json] <spec> [doc.xml]")
+	}
+	if *jsonOut && fs.NArg() != 2 {
+		return fmt.Errorf("check -json reports document verdicts; pass a document")
 	}
 	s, err := loadSpec(fs.Arg(0))
 	if err != nil {
 		return err
 	}
 	if fs.NArg() == 2 {
+		opts := checkOutput{witness: *witness, json: *jsonOut, doc: fs.Arg(1)}
 		if *stream || fs.Arg(1) == "-" {
-			return streamCheckDocument(s, fs.Arg(1), *witness, *maxDepth)
+			return streamCheckDocument(s, fs.Arg(1), opts, *maxDepth)
 		}
-		return checkDocument(s, fs.Arg(1), *witness)
+		return checkDocument(s, fs.Arg(1), opts)
 	}
 	ok, anomalies, err := xmlnorm.CheckXNFOpts(s, engOpts)
 	if err != nil {
@@ -190,7 +198,7 @@ func cmdCheck(args []string) error {
 // projections per violated FD. -parallel shards the verdict pass over
 // the root's top-level sibling choices; witnesses are re-derived
 // sequentially, so output is identical at every worker count.
-func checkDocument(s xmlnorm.Spec, docPath string, witness bool) error {
+func checkDocument(s xmlnorm.Spec, docPath string, out checkOutput) error {
 	doc, err := loadDoc(docPath)
 	if err != nil {
 		return err
@@ -198,7 +206,7 @@ func checkDocument(s xmlnorm.Spec, docPath string, witness bool) error {
 	if err := xmlnorm.ConformsUnordered(doc, s.DTD); err != nil {
 		return fmt.Errorf("document does not conform to the spec: %v", err)
 	}
-	return printCheckVerdict(xmlnorm.ViolationsOpts(doc, s.FDs, engOpts), len(s.FDs), witness)
+	return printCheckVerdict(xmlnorm.ViolationsOpts(doc, s.FDs, engOpts), len(s.FDs), out)
 }
 
 // streamCheckDocument is the -stream mode of "xnf check": T ⊨ Σ is
@@ -209,7 +217,7 @@ func checkDocument(s xmlnorm.Spec, docPath string, witness bool) error {
 // needs the materialized tree); the verdict and witness output are
 // otherwise identical to the tree mode's. Stdin documents ("-") always
 // take this path.
-func streamCheckDocument(s xmlnorm.Spec, docPath string, witness bool, maxDepth int) error {
+func streamCheckDocument(s xmlnorm.Spec, docPath string, out checkOutput, maxDepth int) error {
 	var r io.Reader
 	if docPath == "-" {
 		r = os.Stdin
@@ -225,13 +233,31 @@ func streamCheckDocument(s xmlnorm.Spec, docPath string, witness bool, maxDepth 
 	if err != nil {
 		return err
 	}
-	return printCheckVerdict(violated, len(s.FDs), witness)
+	return printCheckVerdict(violated, len(s.FDs), out)
+}
+
+// checkOutput selects the rendering of a document verdict: the classic
+// text block, or the JSON object the serve endpoints emit.
+type checkOutput struct {
+	witness bool
+	json    bool
+	doc     string
 }
 
 // printCheckVerdict renders the shared verdict/witness block of the
 // document-checking modes; the streaming and tree paths must stay
 // byte-identical here.
-func printCheckVerdict(violated []xmlnorm.Violated, total int, witness bool) error {
+func printCheckVerdict(violated []xmlnorm.Violated, total int, out checkOutput) error {
+	if out.json {
+		if err := writeJSON(os.Stdout, verdictObject(out.doc, 0, total, violated, out.witness)); err != nil {
+			return err
+		}
+		if len(violated) > 0 {
+			return errNegative
+		}
+		return nil
+	}
+	witness := out.witness
 	if len(violated) == 0 {
 		fmt.Printf("satisfies all %d FD(s)\n", total)
 		return nil

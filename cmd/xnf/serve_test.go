@@ -1,0 +1,323 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xmlnorm"
+)
+
+// serveSpec loads the courses spec for the serve tests.
+func serveSpec(t *testing.T) xmlnorm.Spec {
+	t.Helper()
+	s, err := loadSpec(td("courses.spec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// coursesXML returns the Figure 1 document's bytes.
+func coursesXML(t *testing.T) string {
+	t.Helper()
+	b, err := os.ReadFile(td("courses.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// doReq runs one request against the handler and decodes the JSON body.
+func doReq(t *testing.T, h http.Handler, method, url, body string, out any) *http.Response {
+	t.Helper()
+	req := httptest.NewRequest(method, url, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	resp := rec.Result()
+	if out != nil && resp.StatusCode != http.StatusNoContent {
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(b, out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, url, b, err)
+		}
+	}
+	return resp
+}
+
+// TestServeRoundTrip is the end-to-end acceptance path: load a
+// document, commit a batched transaction over HTTP, read the verdict
+// delta, roll a failing batch back, and drop the document.
+func TestServeRoundTrip(t *testing.T) {
+	h := newServer(serveSpec(t)).handler()
+
+	// Load: 201, epoch 1, satisfied.
+	var v verdictJSON
+	resp := doReq(t, h, "PUT", "/docs/fig1", coursesXML(t), &v)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT status = %d", resp.StatusCode)
+	}
+	if !v.Satisfied || v.Seq != 1 || v.Total != 3 || v.Doc != "fig1" {
+		t.Fatalf("PUT verdict = %+v", v)
+	}
+
+	// Replacing the same name is 200.
+	if resp := doReq(t, h, "PUT", "/docs/fig1", coursesXML(t), &v); resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-PUT status = %d", resp.StatusCode)
+	}
+
+	// A batched transaction: break FD3 (two names for st1), insert a
+	// duplicate cno course to break FD1 — one commit, one new epoch.
+	script := "settext courses.course[1].taken_by.student.name Boeing\n" +
+		"# comments and blanks are fine\n\n" +
+		"insert courses <course cno=\"csc200\"><title>Dup</title><taken_by></taken_by></course>\n"
+	resp = doReq(t, h, "POST", "/docs/fig1/txn", script, &v)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("txn status = %d", resp.StatusCode)
+	}
+	if v.Satisfied || v.Seq != 2 || v.Edits != 2 {
+		t.Fatalf("txn verdict = %+v", v)
+	}
+	if len(v.NewlyViolated) != 2 || len(v.NewlySatisfied) != 0 {
+		t.Fatalf("txn delta = %+v / %+v", v.NewlyViolated, v.NewlySatisfied)
+	}
+	if len(v.Inserted) != 1 || v.Inserted[0].Label != "course" || v.Inserted[0].ID == 0 {
+		t.Fatalf("txn inserted = %+v", v.Inserted)
+	}
+
+	// The report endpoint reads the committed epoch; with witnesses the
+	// violating tuple pair rides along.
+	resp = doReq(t, h, "GET", "/docs/fig1/report?witness=1", "", &v)
+	if resp.StatusCode != http.StatusOK || v.Seq != 2 || len(v.Violated) != 2 {
+		t.Fatalf("report = %+v (status %d)", v, resp.StatusCode)
+	}
+	if len(v.Violated[0].Witness) == 0 {
+		t.Fatalf("report witness missing: %+v", v.Violated[0])
+	}
+
+	// fresh=1 re-checks from scratch under the request context and must
+	// agree with the session.
+	var fresh verdictJSON
+	doReq(t, h, "GET", "/docs/fig1/report?fresh=1&witness=1", "", &fresh)
+	if len(fresh.Violated) != len(v.Violated) {
+		t.Fatalf("fresh disagrees: %+v vs %+v", fresh.Violated, v.Violated)
+	}
+	for i := range fresh.Violated {
+		if fresh.Violated[i].FD != v.Violated[i].FD {
+			t.Fatalf("fresh FD %d: %s vs %s", i, fresh.Violated[i].FD, v.Violated[i].FD)
+		}
+	}
+
+	// A failing batch rolls back wholesale: the delete is applied to
+	// the transaction, the bogus selector aborts, and the epoch and
+	// verdict stay put.
+	var errBody map[string]string
+	resp = doReq(t, h, "POST", "/docs/fig1/txn",
+		"delete courses.course[2]\nsetattr courses.nowhere cno x\n", &errBody)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad txn status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(errBody["error"], "nowhere") {
+		t.Fatalf("bad txn error = %q", errBody["error"])
+	}
+	doReq(t, h, "GET", "/docs/fig1/report", "", &v)
+	if v.Seq != 2 || len(v.Violated) != 2 {
+		t.Fatalf("verdict moved after rolled-back txn: %+v", v)
+	}
+
+	// Healing transaction: restore the name, delete the duplicate.
+	doReq(t, h, "POST", "/docs/fig1/txn",
+		"settext courses.course[1].taken_by.student.name Deere\ndelete courses.course[2]\n", &v)
+	if !v.Satisfied || v.Seq != 3 || len(v.NewlySatisfied) != 2 {
+		t.Fatalf("healing txn verdict = %+v", v)
+	}
+
+	// List shows the hosted document; delete drops it.
+	var list []verdictJSON
+	doReq(t, h, "GET", "/docs", "", &list)
+	if len(list) != 1 || list[0].Doc != "fig1" || !list[0].Satisfied {
+		t.Fatalf("list = %+v", list)
+	}
+	if resp := doReq(t, h, "DELETE", "/docs/fig1", "", nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE status = %d", resp.StatusCode)
+	}
+	if resp := doReq(t, h, "GET", "/docs/fig1/report", "", &errBody); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("report after delete status = %d", resp.StatusCode)
+	}
+}
+
+// TestServeErrors covers the failure surfaces: malformed documents,
+// nonconforming documents, missing names, and malformed scripts.
+func TestServeErrors(t *testing.T) {
+	h := newServer(serveSpec(t)).handler()
+	var errBody map[string]string
+
+	if resp := doReq(t, h, "PUT", "/docs/bad", "<not xml", &errBody); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed PUT status = %d", resp.StatusCode)
+	}
+	if resp := doReq(t, h, "PUT", "/docs/bad", "<wrong/>", &errBody); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("nonconforming PUT status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(errBody["error"], "conform") {
+		t.Fatalf("nonconforming PUT error = %q", errBody["error"])
+	}
+	if resp := doReq(t, h, "POST", "/docs/ghost/txn", "", &errBody); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("txn on missing doc status = %d", resp.StatusCode)
+	}
+	if resp := doReq(t, h, "DELETE", "/docs/ghost", "", &errBody); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("delete missing doc status = %d", resp.StatusCode)
+	}
+
+	doReq(t, h, "PUT", "/docs/fig1", coursesXML(t), nil)
+	if resp := doReq(t, h, "POST", "/docs/fig1/txn", "frobnicate courses\n", &errBody); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown op status = %d", resp.StatusCode)
+	}
+}
+
+// TestServeSnapshotReadsDuringTxn pins the serving guarantee over
+// HTTP: while a transaction is open (the document's writer lock held),
+// report reads still answer — with the pre-transaction epoch.
+func TestServeSnapshotReadsDuringTxn(t *testing.T) {
+	srv := newServer(serveSpec(t))
+	h := srv.handler()
+	doReq(t, h, "PUT", "/docs/fig1", coursesXML(t), nil)
+
+	d, _ := srv.lookup("fig1")
+	d.mu.Lock() // simulate an in-flight transaction holding the writer lock
+	tx := d.session().Begin()
+	if err := tx.SetText(mustResolve(t, tx, "courses.course.title"), "Renamed"); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan verdictJSON, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var v verdictJSON
+		doReq(t, h, "GET", "/docs/fig1/report", "", &v)
+		done <- v
+	}()
+	select {
+	case v := <-done:
+		if v.Seq != 1 || !v.Satisfied {
+			t.Errorf("mid-txn report = %+v, want epoch 1", v)
+		}
+	case <-time.After(10 * time.Second):
+		t.Error("report read blocked behind an open transaction")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	d.mu.Unlock()
+	wg.Wait()
+}
+
+func mustResolve(t *testing.T, ed docEditor, sel string) xmlnorm.NodeID {
+	t.Helper()
+	id, err := resolveNode(ed, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// TestJSONFlag covers the -json modes of check and watch: the CLI
+// emits the same verdictJSON objects the serve endpoints do, one per
+// document / edit.
+func TestJSONFlag(t *testing.T) {
+	// check -json on a violating document (tree and stream paths).
+	for _, extra := range [][]string{nil, {"-stream"}} {
+		args := append(append([]string{"check", "-json", "-witness"}, extra...),
+			td("courses.spec"), filepath.Join("testdata", "courses_bad.xml"))
+		out, err := capture(t, func() error { return run(args) })
+		if err != errNegative {
+			t.Fatalf("run(%v): err = %v, want negative result", args, err)
+		}
+		var v verdictJSON
+		if err := json.Unmarshal([]byte(out), &v); err != nil {
+			t.Fatalf("run(%v): bad JSON %q: %v", args, out, err)
+		}
+		if v.Satisfied || v.Total != 3 || len(v.Violated) == 0 || len(v.Violated[0].Witness) == 0 {
+			t.Fatalf("run(%v): verdict = %+v", args, v)
+		}
+	}
+	// -json without a document is a usage error.
+	if err := run([]string{"check", "-json", td("courses.spec")}); err == nil {
+		t.Fatal("check -json without a document accepted")
+	}
+
+	// watch -json: one object per edit, with the delta fields.
+	script := writeScript(t, "settext courses.course[1].taken_by.student.name Boeing\nverdict\n")
+	out, err := capture(t, func() error {
+		return run([]string{"watch", "-json", td("courses.spec"), td("courses.xml"), script})
+	})
+	if err != errNegative {
+		t.Fatalf("watch -json: err = %v, want negative result", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // initial verdict, one edit, explicit "verdict"
+		t.Fatalf("watch -json emitted %d objects:\n%s", len(lines), out)
+	}
+	var initial, edit verdictJSON
+	if err := json.Unmarshal([]byte(lines[0]), &initial); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &edit); err != nil {
+		t.Fatal(err)
+	}
+	if !initial.Satisfied || initial.Seq != 1 {
+		t.Fatalf("initial = %+v", initial)
+	}
+	if edit.Satisfied || edit.Seq != 2 || edit.Edits != 1 || len(edit.NewlyViolated) != 1 {
+		t.Fatalf("edit = %+v", edit)
+	}
+}
+
+// TestServeFollow exercises the poll-based -follow mode: a change to
+// the on-disk file shows up as a new hosted session with the new
+// verdict, with no watch API involved.
+func TestServeFollow(t *testing.T) {
+	srv := newServer(serveSpec(t))
+	path := filepath.Join(t.TempDir(), "doc.xml")
+	if err := os.WriteFile(path, []byte(coursesXML(t)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.loadFile("live", path); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go srv.followFile(ctx, "live", path, 5*time.Millisecond)
+
+	d, _ := srv.lookup("live")
+	if !d.session().Satisfied() {
+		t.Fatal("initial document should satisfy Σ")
+	}
+
+	// Rewrite the file with a violating version (st1 named differently
+	// in the two courses) and wait for the poller to re-host it.
+	bad := strings.Replace(coursesXML(t), "<name>Deere</name>", "<name>Boeing</name>", 1)
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		d, _ := srv.lookup("live")
+		if d != nil && !d.session().Satisfied() {
+			return // reloaded with the violating document
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("follow never re-hosted the changed document")
+}

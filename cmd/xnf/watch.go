@@ -36,11 +36,12 @@ import (
 func cmdWatch(args []string) error {
 	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
 	witness := fs.Bool("witness", false, "print a witness tuple pair when an FD becomes violated")
+	jsonOut := fs.Bool("json", false, "emit one JSON verdict object per edit (the xnf serve wire format)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 2 && fs.NArg() != 3 {
-		return fmt.Errorf("usage: xnf watch [-witness] <spec> <doc.xml|-> [script|-]")
+		return fmt.Errorf("usage: xnf watch [-witness] [-json] <spec> <doc.xml|-> [script|-]")
 	}
 	s, err := loadSpec(fs.Arg(0))
 	if err != nil {
@@ -75,7 +76,13 @@ func cmdWatch(args []string) error {
 		return err
 	}
 	prev := sess.Violated()
-	printVerdict(s, prev)
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, verdictObject(fs.Arg(1), sess.Snapshot().Seq(), len(s.FDs), sess.Report(), *witness)); err != nil {
+			return err
+		}
+	} else {
+		printVerdict(s, prev)
+	}
 	edits := 0
 	sc := bufio.NewScanner(script)
 	for sc.Scan() {
@@ -84,6 +91,12 @@ func cmdWatch(args []string) error {
 			continue
 		}
 		if line == "verdict" {
+			if *jsonOut {
+				if err := writeJSON(os.Stdout, verdictObject(fs.Arg(1), sess.Snapshot().Seq(), len(s.FDs), sess.Report(), *witness)); err != nil {
+					return err
+				}
+				continue
+			}
 			printVerdict(s, sess.Violated())
 			if *witness {
 				printReport(sess.Report())
@@ -91,81 +104,114 @@ func cmdWatch(args []string) error {
 			continue
 		}
 		edits++
-		fmt.Printf("[%d] %s\n", edits, line)
-		if err := applyEdit(sess, line); err != nil {
+		if !*jsonOut {
+			fmt.Printf("[%d] %s\n", edits, line)
+		}
+		inserted, err := applyEdit(sess, line)
+		if err != nil {
 			return fmt.Errorf("edit %d (%s): %w", edits, line, err)
 		}
 		cur := sess.Violated()
-		printDelta(s, sess, prev, cur, *witness)
+		if *jsonOut {
+			v := verdictObject(fs.Arg(1), sess.Snapshot().Seq(), len(s.FDs), sess.Report(), *witness)
+			v.Edits = 1
+			v.addDelta(s, prev, cur)
+			if inserted != nil {
+				v.Inserted = append(v.Inserted, insertedJSON{Label: inserted.Label, ID: inserted.ID})
+			}
+			if err := writeJSON(os.Stdout, v); err != nil {
+				return err
+			}
+		} else {
+			if inserted != nil {
+				fmt.Printf("    inserted <%s> as #%d\n", inserted.Label, inserted.ID)
+			}
+			printDelta(s, sess, prev, cur, *witness)
+		}
 		prev = cur
 	}
 	if err := sc.Err(); err != nil {
 		return err
 	}
-	fmt.Printf("final after %d edit(s): ", edits)
-	printVerdict(s, prev)
+	if !*jsonOut {
+		fmt.Printf("final after %d edit(s): ", edits)
+		printVerdict(s, prev)
+	}
 	if len(prev) > 0 {
 		return errNegative
 	}
 	return nil
 }
 
-// applyEdit parses and applies one edit line. Errors — a malformed
-// line, a selector that resolves nowhere, a NodeID absent from the
-// tree (xmlnorm.UnknownNodeError) — abort the script; nothing is
-// mutated by a failed edit.
-func applyEdit(sess *xmlnorm.Session, line string) error {
+// docEditor is the mutation surface of the edit-script language:
+// *xmlnorm.Session satisfies it (per-edit transactions, as "xnf
+// watch" uses) and so does *xmlnorm.Txn (one batched transaction, as
+// the serve txn endpoint uses) — one script applier drives both.
+type docEditor interface {
+	Tree() *xmlnorm.Tree
+	SetAttr(id xmlnorm.NodeID, name, value string) error
+	SetText(id xmlnorm.NodeID, text string) error
+	InsertSubtree(parentID xmlnorm.NodeID, sub *xmlnorm.Node) error
+	DeleteSubtree(id xmlnorm.NodeID) error
+}
+
+// applyEdit parses and applies one edit line, returning the inserted
+// subtree's root when the edit was an insert (so callers can report
+// its assigned NodeID). Errors — a malformed line, a selector that
+// resolves nowhere, a NodeID absent from the tree
+// (xmlnorm.UnknownNodeError) — abort the script; nothing is mutated
+// by a failed edit.
+func applyEdit(ed docEditor, line string) (*xmlnorm.Node, error) {
 	parts := strings.Fields(line)
 	op := parts[0]
 	switch op {
 	case "setattr":
 		if len(parts) != 4 {
-			return fmt.Errorf("usage: setattr <node> <name> <value>")
+			return nil, fmt.Errorf("usage: setattr <node> <name> <value>")
 		}
-		id, err := resolveNode(sess, parts[1])
+		id, err := resolveNode(ed, parts[1])
 		if err != nil {
-			return err
+			return nil, err
 		}
-		return sess.SetAttr(id, parts[2], parts[3])
+		return nil, ed.SetAttr(id, parts[2], parts[3])
 	case "settext":
 		if len(parts) < 2 {
-			return fmt.Errorf("usage: settext <node> <text...>")
+			return nil, fmt.Errorf("usage: settext <node> <text...>")
 		}
-		id, err := resolveNode(sess, parts[1])
+		id, err := resolveNode(ed, parts[1])
 		if err != nil {
-			return err
+			return nil, err
 		}
 		rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line[len(op):]), parts[1]))
-		return sess.SetText(id, rest)
+		return nil, ed.SetText(id, rest)
 	case "insert":
 		if len(parts) < 3 {
-			return fmt.Errorf("usage: insert <node> <xml...>")
+			return nil, fmt.Errorf("usage: insert <node> <xml...>")
 		}
-		id, err := resolveNode(sess, parts[1])
+		id, err := resolveNode(ed, parts[1])
 		if err != nil {
-			return err
+			return nil, err
 		}
 		xml := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line[len(op):]), parts[1]))
 		sub, err := xmlnorm.ParseDocument(xml)
 		if err != nil {
-			return fmt.Errorf("inserted fragment: %v", err)
+			return nil, fmt.Errorf("inserted fragment: %v", err)
 		}
-		if err := sess.InsertSubtree(id, sub.Root); err != nil {
-			return err
+		if err := ed.InsertSubtree(id, sub.Root); err != nil {
+			return nil, err
 		}
-		fmt.Printf("    inserted <%s> as #%d\n", sub.Root.Label, sub.Root.ID)
-		return nil
+		return sub.Root, nil
 	case "delete":
 		if len(parts) != 2 {
-			return fmt.Errorf("usage: delete <node>")
+			return nil, fmt.Errorf("usage: delete <node>")
 		}
-		id, err := resolveNode(sess, parts[1])
+		id, err := resolveNode(ed, parts[1])
 		if err != nil {
-			return err
+			return nil, err
 		}
-		return sess.DeleteSubtree(id)
+		return nil, ed.DeleteSubtree(id)
 	default:
-		return fmt.Errorf("unknown edit %q (want setattr|settext|insert|delete|verdict)", op)
+		return nil, fmt.Errorf("unknown edit %q (want setattr|settext|insert|delete|verdict)", op)
 	}
 }
 
@@ -173,7 +219,7 @@ func applyEdit(sess *xmlnorm.Session, line string) error {
 // edit itself reports a typed UnknownNodeError if it is stale), or a
 // dotted label path with optional [i] sibling indices resolved against
 // the current tree.
-func resolveNode(sess *xmlnorm.Session, sel string) (xmlnorm.NodeID, error) {
+func resolveNode(ed docEditor, sel string) (xmlnorm.NodeID, error) {
 	if strings.HasPrefix(sel, "#") {
 		n, err := strconv.ParseUint(sel[1:], 10, 64)
 		if err != nil {
@@ -181,7 +227,7 @@ func resolveNode(sess *xmlnorm.Session, sel string) (xmlnorm.NodeID, error) {
 		}
 		return xmlnorm.NodeID(n), nil
 	}
-	cur := sess.Tree().Root
+	cur := ed.Tree().Root
 	for i, seg := range strings.Split(sel, ".") {
 		label, idx, err := parseSegment(seg)
 		if err != nil {

@@ -1009,6 +1009,7 @@ var registry = []struct {
 	{"E18", func(Options) (*Table, error) { return E18StreamingTuples() }},
 	{"E19", func(Options) (*Table, error) { return E19IncrementalChecking() }},
 	{"E20", func(Options) (*Table, error) { return E20SAXFusion() }},
+	{"E21", func(Options) (*Table, error) { return E21ServeThroughput() }},
 }
 
 // Run executes the selected experiments in suite order with the given

@@ -18,6 +18,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"strconv"
@@ -28,6 +29,7 @@ import (
 	"xmlnorm/internal/dtd"
 	"xmlnorm/internal/implication"
 	"xmlnorm/internal/paths"
+	"xmlnorm/internal/pool"
 	"xmlnorm/internal/xfd"
 )
 
@@ -250,6 +252,14 @@ func (e *Engine) ImpliesBatch(qs []xfd.FD) ([]implication.Answer, error) {
 // loop. fn must only write state owned by index i.
 func (e *Engine) ForEach(n int, fn func(i int) error) error {
 	return forEach(e.opts.workers(), n, fn)
+}
+
+// ForEachCtx is ForEach under a context: a cancellation stops new
+// indices from being handed out and surfaces as the context's error
+// (see pool.ForEachCtx). Servers use it to cut batch implication work
+// loose on shutdown or request deadline.
+func (e *Engine) ForEachCtx(ctx context.Context, n int, fn func(i int) error) error {
+	return pool.ForEachCtx(ctx, e.opts.workers(), n, fn)
 }
 
 // queryKey canonicalizes a single-RHS query into its cache key. The

@@ -66,26 +66,37 @@ func subtreeSize(n *xmltree.Node) int {
 	return total
 }
 
-// randomEdit applies one random edit through the session, returning
+// editor is the mutation surface Session and Txn share; randomEdit
+// drives either, so the per-edit and batched-transaction paths replay
+// the same script distribution.
+type editor interface {
+	Tree() *xmltree.Tree
+	SetAttr(id xmltree.NodeID, name, value string) error
+	SetText(id xmltree.NodeID, text string) error
+	InsertSubtree(parentID xmltree.NodeID, sub *xmltree.Node) error
+	DeleteSubtree(id xmltree.NodeID) error
+}
+
+// randomEdit applies one random edit through the editor, returning
 // false when the drawn edit was not applicable (nothing mutated).
 // Values are drawn from a small pool so collisions — the only way
 // violations appear and disappear — are common.
-func randomEdit(t *testing.T, s *incremental.Session, rng *rand.Rand) bool {
+func randomEdit(t *testing.T, ed editor, rng *rand.Rand) bool {
 	t.Helper()
-	nodes := allNodes(s.Tree())
+	nodes := allNodes(ed.Tree())
 	n := nodes[rng.Intn(len(nodes))]
 	vals := []string{"0", "1", "2"}
 	switch rng.Intn(4) {
 	case 0: // setattr
 		names := []string{"k", "v"}
-		if err := s.SetAttr(n.ID, names[rng.Intn(2)], vals[rng.Intn(len(vals))]); err != nil {
+		if err := ed.SetAttr(n.ID, names[rng.Intn(2)], vals[rng.Intn(len(vals))]); err != nil {
 			t.Fatalf("SetAttr: %v", err)
 		}
 	case 1: // settext, on childless nodes only
 		if len(n.Children) > 0 {
 			return false
 		}
-		if err := s.SetText(n.ID, vals[rng.Intn(len(vals))]); err != nil {
+		if err := ed.SetText(n.ID, vals[rng.Intn(len(vals))]); err != nil {
 			t.Fatalf("SetText: %v", err)
 		}
 	case 2: // insert a clone of an existing subtree under a random parent
@@ -93,17 +104,17 @@ func randomEdit(t *testing.T, s *incremental.Session, rng *rand.Rand) bool {
 		if subtreeSize(src) > 8 || n.HasText {
 			return false
 		}
-		if tuples.CountTuples(s.Tree(), 0) > 1500 {
+		if tuples.CountTuples(ed.Tree(), 0) > 1500 {
 			return false // keep the full-pass comparisons cheap
 		}
-		if err := s.InsertSubtree(n.ID, src.Clone()); err != nil {
+		if err := ed.InsertSubtree(n.ID, src.Clone()); err != nil {
 			t.Fatalf("InsertSubtree: %v", err)
 		}
 	default: // delete
-		if n == s.Tree().Root {
+		if n == ed.Tree().Root {
 			return false
 		}
-		if err := s.DeleteSubtree(n.ID); err != nil {
+		if err := ed.DeleteSubtree(n.ID); err != nil {
 			t.Fatalf("DeleteSubtree: %v", err)
 		}
 	}
@@ -125,7 +136,8 @@ func checkStep(t *testing.T, cs *xfd.CheckerSet, s *incremental.Session, context
 }
 
 // runScript drives one random edit script to completion, checking
-// verdict and witness identity after every applied edit.
+// verdict and witness identity after every applied edit, then replays
+// a batched-transaction phase over the same document.
 func runScript(t *testing.T, cs *xfd.CheckerSet, s *incremental.Session, rng *rand.Rand, edits int) {
 	t.Helper()
 	checkStep(t, cs, s, "initial")
@@ -136,6 +148,58 @@ func runScript(t *testing.T, cs *xfd.CheckerSet, s *incremental.Session, rng *ra
 		}
 		applied++
 		checkStep(t, cs, s, "after edit")
+	}
+	runTxnBatches(t, cs, s, rng, 2)
+}
+
+// runTxnBatches drives batches of edits through open transactions,
+// asserting MID-transaction that a Snapshot pinned before Begin — and
+// every reader-facing method of the Session — still reports the
+// pre-transaction epoch bit-identically, and that commit publishes
+// (rollback restores) a state identical to a from-scratch pass.
+func runTxnBatches(t *testing.T, cs *xfd.CheckerSet, s *incremental.Session, rng *rand.Rand, batches int) {
+	t.Helper()
+	for b := 0; b < batches; b++ {
+		want := cs.Violations(s.Tree()) // pre-txn ground truth
+		preCanon := s.Tree().Canonical()
+		pinned := s.Snapshot()
+		tx := s.Begin()
+		applied := 0
+		for tries := 0; applied < 3 && tries < 12; tries++ {
+			if !randomEdit(t, tx, rng) {
+				continue
+			}
+			applied++
+			// The uncommitted edit must be invisible to every reader.
+			sameReports(t, want, pinned.Report(), "pinned snapshot mid-txn")
+			sameReports(t, want, s.Report(), "session reader mid-txn")
+			if got := s.Snapshot().Seq(); got != pinned.Seq() {
+				t.Fatalf("mid-txn epoch moved: %d -> %d", pinned.Seq(), got)
+			}
+		}
+		if rng.Intn(3) == 0 {
+			if err := tx.Rollback(); err != nil {
+				t.Fatalf("Rollback: %v", err)
+			}
+			if got := s.Tree().Canonical(); got != preCanon {
+				t.Fatalf("rollback did not restore the tree:\n pre %s\n got %s", preCanon, got)
+			}
+			if got := s.Snapshot().Seq(); got != pinned.Seq() {
+				t.Fatalf("rollback published an epoch: %d -> %d", pinned.Seq(), got)
+			}
+			checkStep(t, cs, s, "after rollback")
+		} else {
+			if err := tx.Commit(); err != nil {
+				t.Fatalf("Commit: %v", err)
+			}
+			if got := s.Snapshot().Seq(); got != pinned.Seq()+1 {
+				t.Fatalf("commit published epoch %d, want %d", got, pinned.Seq()+1)
+			}
+			checkStep(t, cs, s, "after commit")
+		}
+		if err := tx.Commit(); err != incremental.ErrTxnFinished {
+			t.Fatalf("second finish returned %v, want ErrTxnFinished", err)
+		}
 	}
 }
 

@@ -1,5 +1,6 @@
 // Package incremental re-validates documents across edits without
-// re-streaming the tree: the delta engine for T ⊨ Σ.
+// re-streaming the tree: the delta engine for T ⊨ Σ, structured as a
+// single-writer transaction core with lock-free snapshot readers.
 //
 // A from-scratch pass (xfd.CheckerSet) decides satisfaction by
 // streaming every cluster's projected tuples — Definition 6's
@@ -18,34 +19,44 @@
 // injective with respect to the checker's RHS-agreement relation
 // (xfd.CheckerSet.AppendFoldKeys). An FD is violated exactly when some
 // LHS group holds two distinct RHS keys, and a per-FD "conflicted
-// groups" counter makes that verdict O(1) to read. Each edit then
+// groups" counter makes that verdict O(1) to read.
 //
-//  1. validates against the node index (xmltree.Index — the node →
-//     choice-point map: a node's spine IS the set of choices a tuple
-//     must commit to in order to contain it),
-//  2. retracts (count−1) the pinned stream of the edit's spine on the
-//     before-tree,
-//  3. applies the mutation through the index, and
-//  4. asserts (count+1) the pinned stream of the after-tree,
-//
-// with the retract/assert endpoints shifted one level up when an edit
+// Mutations are grouped into transactions (Begin/Commit/Rollback, see
+// Txn); the classic per-edit methods are single-edit transactions. A
+// transaction maintains per-cluster DIRTY REGIONS — disjoint pinned
+// spines whose tuples have been retracted from the fold — so that k
+// edits under one region cost one retract and one assert instead of k
+// of each, and commits by re-asserting the dirty regions on the final
+// tree, with the region endpoints shifted one level up when an edit
 // opens or closes a sibling group (first child of a label in, last
 // child out), because a closed group contributes ⊥ through the parent
-// rather than a choice. Clusters whose projection cannot see the
-// edited region at all (Sees/SeesAttr/SeesText) are skipped — their
-// before and after streams are identical by construction.
+// rather than a choice. Clusters whose projection cannot see an edited
+// region at all (Sees/SeesAttr/SeesText) are skipped — their before
+// and after streams are identical by construction.
 //
-// Verdicts are therefore maintained exactly; witnesses are not. They
-// are re-derived on demand by a sequential pass restricted to the
-// violated FDs (xfd.CheckerSet.WitnessReport), the same mechanism the
-// sharded checker uses, which is what makes Report() bit-identical —
-// same FDs, same order, same witness tuples — to what a from-scratch
-// CheckerSet.Violations would return on the current tree.
+// Every commit PUBLISHES an immutable Snapshot — the epoch mechanism
+// that makes the Session safe for one writer plus any number of
+// concurrent readers: verdict and witness report are computed under
+// the writer lock and stored behind one atomic pointer, so Violated,
+// Satisfied, Report and Snapshot never block, never observe torn
+// refcounts, and a reader that pins a Snapshot mid-transaction keeps
+// reading the pre-commit state. The verdict is read off the conflicted
+// counters in O(Σ); witness REPORTS are re-derived per epoch by a
+// sequential pass restricted to the violated FDs
+// (xfd.CheckerSet.WitnessReport) — which is what makes Snapshot.Report
+// bit-identical, same FDs, same order, same witness tuples, to what a
+// from-scratch CheckerSet.Violations would return on the committed
+// tree — but only once some caller has asked for a report: the first
+// Report call puts the Session in sticky reporting mode, and until
+// then commits skip the witness pass entirely, so verdict-only
+// workloads re-validate at pure delta cost.
 package incremental
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"xmlnorm/internal/tuples"
 	"xmlnorm/internal/xfd"
@@ -102,20 +113,38 @@ type clusterState struct {
 }
 
 // Session is a stateful incremental checker for one (CheckerSet,
-// document) pair. Build with New; apply every mutation through the
-// Session's edit methods — editing the tree behind its back leaves the
-// group maps stale (exactly as with xmltree.Index). A Session is not
-// safe for concurrent use.
+// document) pair. Build with New; apply every mutation through a Txn
+// (Begin) or the single-edit convenience methods — editing the tree
+// behind its back leaves the group maps stale (exactly as with
+// xmltree.Index).
+//
+// Concurrency: ONE writer at a time (Begin serializes transactions on
+// an internal mutex; the per-edit methods are one-edit transactions),
+// while Violated, Satisfied, Report, and Snapshot are safe to call
+// from any number of goroutines at any moment — they read the last
+// published epoch and never block on, or observe, an in-flight
+// transaction. Tree and Node expose the live tree and are writer-side:
+// between Begin and Commit they see uncommitted mutations.
 type Session struct {
 	cs       *xfd.CheckerSet
 	ix       *xmltree.Index
 	clusters []clusterState
-	sees     []bool // per-edit scratch, len(clusters)
+
+	writeMu sync.Mutex // held from Begin to Commit/Rollback
+	seq     uint64     // epoch counter, writer-owned
+	snap    atomic.Pointer[Snapshot]
+
+	// reporting flips true (sticky) at the first Report call; from then
+	// on every violated epoch's witness report is sealed at publish.
+	// Until then publishes stay O(Σ) — verdict-only workloads never pay
+	// the witness pass. See Snapshot.Report.
+	reporting atomic.Bool
 }
 
 // New builds a Session over the checker set and document: one node
 // index plus one full fold per cluster whose root label matches —
-// the same price as a single CheckerSet.Violations pass, paid once.
+// the same price as a single CheckerSet.Violations pass, paid once —
+// and publishes the initial Snapshot.
 func New(cs *xfd.CheckerSet, doc *xmltree.Tree) (*Session, error) {
 	ix, err := xmltree.NewIndex(doc)
 	if err != nil {
@@ -133,14 +162,15 @@ func New(cs *xfd.CheckerSet, doc *xmltree.Tree) (*Session, error) {
 		}
 		s.clusters = append(s.clusters, cst)
 	}
-	s.sees = make([]bool, len(s.clusters))
 	for i := range s.clusters {
 		s.fold(&s.clusters[i], []*xmltree.Node{doc.Root}, +1)
 	}
+	s.publishLocked()
 	return s, nil
 }
 
-// Tree returns the session's document. Treat it as read-only.
+// Tree returns the session's document. Treat it as read-only; between
+// Begin and Commit it reflects the transaction's uncommitted edits.
 func (s *Session) Tree() *xmltree.Tree { return s.ix.Tree() }
 
 // Node returns the node with the given ID, or an
@@ -165,10 +195,10 @@ func (s *Session) fold(cst *clusterState, spine []*xmltree.Node, delta int) {
 	})
 }
 
-// Violated returns the indices (Σ order, as CheckerSet.FDAt addresses
-// them) of the FDs the current tree violates. The verdict is read off
-// the conflicted counters — no streaming.
-func (s *Session) Violated() []int {
+// violatedNow reads the violated FD indices (Σ order) off the live
+// conflicted counters. Writer-side: callers hold writeMu or own the
+// session exclusively.
+func (s *Session) violatedNow() []int {
 	var out []int
 	for i := range s.clusters {
 		cst := &s.clusters[i]
@@ -182,98 +212,31 @@ func (s *Session) Violated() []int {
 	return out
 }
 
-// Satisfied reports T ⊨ Σ for the current tree, in O(|Σ|).
-func (s *Session) Satisfied() bool {
-	for i := range s.clusters {
-		for li := range s.clusters[i].st {
-			if s.clusters[i].st[li].conflicted > 0 {
-				return false
-			}
-		}
-	}
-	return true
-}
+// Violated returns the indices (Σ order, as CheckerSet.FDAt addresses
+// them) of the FDs violated as of the last committed transaction. Safe
+// for concurrent use; never blocks on a writer.
+func (s *Session) Violated() []int { return s.Snapshot().Violated() }
 
-// Report returns the full violation report for the current tree —
-// bit-identical (FDs, order, witness tuples) to what a from-scratch
-// CheckerSet.Violations pass would return. The verdict is incremental;
-// only the witnesses cost a walk, restricted to the violated FDs, and
-// a satisfied document returns nil without streaming anything.
-func (s *Session) Report() []xfd.Violated {
-	v := s.Violated()
-	if len(v) == 0 {
-		return nil
-	}
-	bad := make(map[int]bool, len(v))
-	for _, fi := range v {
-		bad[fi] = true
-	}
-	return s.cs.WitnessReport(s.ix.Tree(), bad)
-}
+// Satisfied reports T ⊨ Σ as of the last committed transaction, in
+// O(1). Safe for concurrent use; never blocks on a writer.
+func (s *Session) Satisfied() bool { return s.Snapshot().Satisfied() }
 
-// labelsOf extracts the label path of a spine into the session's
-// reusable scratch.
+// Report returns the full violation report as of the last committed
+// transaction — bit-identical (FDs, order, witness tuples) to what a
+// from-scratch CheckerSet.Violations pass returned on that tree. The
+// report is computed at most once per epoch and shared by every
+// reader; the first call ever puts the Session in reporting mode (see
+// Snapshot.Report). Safe for concurrent use; treat the returned slice
+// as read-only.
+func (s *Session) Report() []xfd.Violated { return s.Snapshot().Report() }
+
+// labelsOf extracts the label path of a spine.
 func labelsOf(spine []*xmltree.Node) []string {
 	labels := make([]string, len(spine))
 	for i, n := range spine {
 		labels[i] = n.Label
 	}
 	return labels
-}
-
-// SetAttr sets an attribute on the addressed node and re-validates.
-// Only clusters whose projection requests that attribute at the node's
-// label path re-fold, and only over the node's pinned region.
-func (s *Session) SetAttr(id xmltree.NodeID, name, value string) error {
-	spine, err := s.ix.Spine(id)
-	if err != nil {
-		return err
-	}
-	labels := labelsOf(spine)
-	for i := range s.clusters {
-		s.sees[i] = s.clusters[i].pr.SeesAttr(labels, name)
-		if s.sees[i] {
-			s.fold(&s.clusters[i], spine, -1)
-		}
-	}
-	if err := s.ix.SetAttr(id, name, value); err != nil {
-		panic(fmt.Sprintf("incremental: SetAttr failed after validation: %v", err))
-	}
-	for i := range s.clusters {
-		if s.sees[i] {
-			s.fold(&s.clusters[i], spine, +1)
-		}
-	}
-	return nil
-}
-
-// SetText replaces the addressed node's string content and
-// re-validates. Nodes with element children are rejected, as in
-// xmltree.Index.SetText.
-func (s *Session) SetText(id xmltree.NodeID, text string) error {
-	spine, err := s.ix.Spine(id)
-	if err != nil {
-		return err
-	}
-	if n := spine[len(spine)-1]; len(n.Children) > 0 {
-		return s.ix.SetText(id, text) // refuses before mutating: canonical error
-	}
-	labels := labelsOf(spine)
-	for i := range s.clusters {
-		s.sees[i] = s.clusters[i].pr.SeesText(labels)
-		if s.sees[i] {
-			s.fold(&s.clusters[i], spine, -1)
-		}
-	}
-	if err := s.ix.SetText(id, text); err != nil {
-		panic(fmt.Sprintf("incremental: SetText failed after validation: %v", err))
-	}
-	for i := range s.clusters {
-		if s.sees[i] {
-			s.fold(&s.clusters[i], spine, +1)
-		}
-	}
-	return nil
 }
 
 // hasChildLabelled reports whether the node has a child with the
@@ -287,6 +250,32 @@ func hasChildLabelled(n *xmltree.Node, label string) bool {
 	return false
 }
 
+// edit1 runs one edit as a single-op transaction: the classic per-edit
+// API. A failed op mutates nothing; a successful one commits and
+// publishes a fresh Snapshot.
+func (s *Session) edit1(op func(t *Txn) error) error {
+	t := s.Begin()
+	if err := op(t); err != nil {
+		_ = t.Rollback()
+		return err
+	}
+	return t.Commit()
+}
+
+// SetAttr sets an attribute on the addressed node and re-validates.
+// Only clusters whose projection requests that attribute at the node's
+// label path re-fold, and only over the node's pinned region.
+func (s *Session) SetAttr(id xmltree.NodeID, name, value string) error {
+	return s.edit1(func(t *Txn) error { return t.SetAttr(id, name, value) })
+}
+
+// SetText replaces the addressed node's string content and
+// re-validates. Nodes with element children are rejected, as in
+// xmltree.Index.SetText.
+func (s *Session) SetText(id xmltree.NodeID, text string) error {
+	return s.edit1(func(t *Txn) error { return t.SetText(id, text) })
+}
+
 // InsertSubtree appends sub as the last child of the addressed parent
 // and re-validates. When the parent already has children of sub's
 // label the existing tuples are untouched and only the tuples choosing
@@ -294,54 +283,7 @@ func hasChildLabelled(n *xmltree.Node, label string) bool {
 // tuple through the parent changes (the branch was ⊥), so the parent's
 // pinned region is retracted first and re-asserted after.
 func (s *Session) InsertSubtree(parentID xmltree.NodeID, sub *xmltree.Node) error {
-	if err := s.ix.CheckInsert(parentID, sub); err != nil {
-		return err
-	}
-	if err := checkUniqueIDs(sub, make(map[xmltree.NodeID]bool)); err != nil {
-		return err
-	}
-	spineP, err := s.ix.Spine(parentID)
-	if err != nil {
-		return err
-	}
-	parent := spineP[len(spineP)-1]
-	labels := append(labelsOf(spineP), sub.Label)
-	wasOpen := hasChildLabelled(parent, sub.Label)
-	for i := range s.clusters {
-		s.sees[i] = s.clusters[i].pr.Sees(labels)
-		if s.sees[i] && !wasOpen {
-			s.fold(&s.clusters[i], spineP, -1)
-		}
-	}
-	if err := s.ix.InsertSubtree(parentID, sub); err != nil {
-		panic(fmt.Sprintf("incremental: InsertSubtree failed after validation: %v", err))
-	}
-	childSpine := append(spineP, sub)
-	for i := range s.clusters {
-		if s.sees[i] {
-			// With the group open, pinning to the new child covers the
-			// whole delta; when the insert opened it, the child is the
-			// group's only choice, so this equals the parent's region.
-			s.fold(&s.clusters[i], childSpine, +1)
-		}
-	}
-	return nil
-}
-
-// checkUniqueIDs rejects subtrees carrying internal duplicate IDs
-// before any state is retracted (Index.CheckInsert only vets the
-// subtree against the tree, not against itself).
-func checkUniqueIDs(n *xmltree.Node, seen map[xmltree.NodeID]bool) error {
-	if seen[n.ID] {
-		return fmt.Errorf("incremental: inserted subtree repeats node #%d", n.ID)
-	}
-	seen[n.ID] = true
-	for _, c := range n.Children {
-		if err := checkUniqueIDs(c, seen); err != nil {
-			return err
-		}
-	}
-	return nil
+	return s.edit1(func(t *Txn) error { return t.InsertSubtree(parentID, sub) })
 }
 
 // DeleteSubtree detaches the addressed node (and everything below it)
@@ -350,30 +292,5 @@ func checkUniqueIDs(n *xmltree.Node, seen map[xmltree.NodeID]bool) error {
 // parent's region is re-asserted — the branch contributes ⊥ now, and
 // every tuple through the parent changes shape.
 func (s *Session) DeleteSubtree(id xmltree.NodeID) error {
-	spine, err := s.ix.Spine(id)
-	if err != nil {
-		return err
-	}
-	if len(spine) < 2 {
-		return s.ix.DeleteSubtree(id) // root: refuses before mutating
-	}
-	n, parent := spine[len(spine)-1], spine[len(spine)-2]
-	labels := labelsOf(spine)
-	for i := range s.clusters {
-		s.sees[i] = s.clusters[i].pr.Sees(labels)
-		if s.sees[i] {
-			s.fold(&s.clusters[i], spine, -1)
-		}
-	}
-	if err := s.ix.DeleteSubtree(id); err != nil {
-		panic(fmt.Sprintf("incremental: DeleteSubtree failed after validation: %v", err))
-	}
-	if !hasChildLabelled(parent, n.Label) {
-		for i := range s.clusters {
-			if s.sees[i] {
-				s.fold(&s.clusters[i], spine[:len(spine)-1], +1)
-			}
-		}
-	}
-	return nil
+	return s.edit1(func(t *Txn) error { return t.DeleteSubtree(id) })
 }

@@ -1,0 +1,132 @@
+package incremental
+
+import (
+	"sync/atomic"
+
+	"xmlnorm/internal/xfd"
+)
+
+// Snapshot is one published epoch of a Session: the verdict and
+// witness report as of a committed transaction, immutable and safe to
+// read from any goroutine for as long as the caller holds it. A
+// reader that pins a Snapshot keeps reading that epoch's answers even
+// while later transactions commit — the Session never mutates a
+// published Snapshot's verdict, it swaps in a new one.
+//
+// The witness REPORT of a violated epoch is sealed into the Snapshot
+// either at publish (once the Session is in reporting mode, see
+// Report) or on the first Report call while the epoch is current;
+// after sealing, reading it is a lock-free pointer load. Verdict-only
+// consumers therefore never pay the witness pass, and report consumers
+// pay it once per epoch.
+type Snapshot struct {
+	s        *Session
+	seq      uint64
+	total    int   // len(Σ) of the checker set
+	violated []int // Σ indices, sorted; nil when satisfied
+	report   atomic.Pointer[[]xfd.Violated]
+}
+
+// Seq is the epoch number: 1 for the Snapshot New publishes, +1 per
+// committed transaction. Two Snapshots from one Session with equal Seq
+// are the same epoch.
+func (sn *Snapshot) Seq() uint64 { return sn.seq }
+
+// Satisfied reports T ⊨ Σ as of this epoch.
+func (sn *Snapshot) Satisfied() bool { return len(sn.violated) == 0 }
+
+// Total returns the number of FDs in the checker set (violated or
+// not) — the denominator for "k of n violated" displays.
+func (sn *Snapshot) Total() int { return sn.total }
+
+// Violated returns the indices (Σ order, sorted) of the FDs violated
+// in this epoch. The slice is the caller's to keep.
+func (sn *Snapshot) Violated() []int {
+	if len(sn.violated) == 0 {
+		return nil
+	}
+	out := make([]int, len(sn.violated))
+	copy(out, sn.violated)
+	return out
+}
+
+// Report returns this epoch's violation report — bit-identical (FDs,
+// order, witness tuples) to a from-scratch CheckerSet.Violations pass
+// over the epoch's tree — or nil when satisfied. Treat the slice and
+// its witnesses as read-only: every reader of the epoch shares them.
+//
+// The first Report call puts the Session in REPORTING MODE, sticky for
+// its lifetime: from then on every commit seals the new epoch's report
+// at publish, and Report is a lock-free read. The transition call
+// itself seals under the writer lock (briefly blocking, and blocked by
+// an open transaction). One boundary is unreconstructible: a Snapshot
+// pinned before the Session ever entered reporting mode and displaced
+// by a later commit has lost its tree, and Report falls back to the
+// current epoch's report.
+func (sn *Snapshot) Report() []xfd.Violated {
+	if len(sn.violated) == 0 {
+		return nil
+	}
+	if r := sn.report.Load(); r != nil {
+		return *r
+	}
+	return sn.sealSlow()
+}
+
+// sealSlow is the out-of-line path of Report: enter reporting mode and
+// seal this epoch if it is still current.
+func (sn *Snapshot) sealSlow() []xfd.Violated {
+	s := sn.s
+	s.reporting.Store(true)
+	s.writeMu.Lock()
+	if r := sn.report.Load(); r != nil { // sealed while we waited
+		s.writeMu.Unlock()
+		return *r
+	}
+	if s.snap.Load() == sn {
+		// Holding writeMu with sn current means the tree is exactly sn's
+		// committed state (any transaction since either committed — and
+		// displaced sn — or rolled the tree back).
+		rep := s.sealLocked(sn)
+		s.writeMu.Unlock()
+		return rep
+	}
+	s.writeMu.Unlock()
+	// Displaced before reporting mode began: this epoch's tree is gone.
+	// Reporting mode is on now, so the current epoch resolves promptly.
+	return s.Snapshot().Report()
+}
+
+// sealLocked computes sn's witness report from the live tree and
+// stores it. The caller holds writeMu, and the tree must be in sn's
+// committed state. The pass is restricted to the violated FDs and
+// short-circuits per FD at the first conflict
+// (xfd.CheckerSet.WitnessReport).
+func (s *Session) sealLocked(sn *Snapshot) []xfd.Violated {
+	bad := make(map[int]bool, len(sn.violated))
+	for _, fi := range sn.violated {
+		bad[fi] = true
+	}
+	rep := s.cs.WitnessReport(s.ix.Tree(), bad)
+	sn.report.Store(&rep)
+	return rep
+}
+
+// Snapshot returns the last published epoch. Safe for concurrent use;
+// never blocks on a writer, and never observes a transaction that has
+// not committed.
+func (s *Session) Snapshot() *Snapshot { return s.snap.Load() }
+
+// publishLocked seals the current fold state into a fresh Snapshot and
+// swaps it in. Writer-side: the caller holds writeMu (or, in New, owns
+// the session exclusively), and the tree must be in its committed
+// shape. The verdict is read off the conflicted counters in O(Σ); the
+// witness pass runs only in reporting mode and only when violated.
+func (s *Session) publishLocked() {
+	s.seq++
+	sn := &Snapshot{s: s, seq: s.seq, total: s.cs.Len(), violated: s.violatedNow()}
+	if len(sn.violated) > 0 && s.reporting.Load() {
+		s.sealLocked(sn)
+	}
+	s.snap.Store(sn)
+}

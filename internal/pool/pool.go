@@ -7,6 +7,7 @@
 package pool
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -18,6 +19,18 @@ import (
 // completion. With workers <= 1 the loop is strictly sequential and
 // stops at the first error.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach under a context: once ctx is cancelled no new
+// index is handed out — queued work is abandoned promptly, in-flight
+// calls run to completion — and the context's error is returned (an
+// error from fn takes precedence; it was the first failure). A
+// background context reduces exactly to ForEach.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if n <= 0 {
 		return nil
 	}
@@ -26,6 +39,9 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -39,11 +55,17 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		firstErr error
 		wg       sync.WaitGroup
 	)
+	done := ctx.Done()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() {
 					return
@@ -57,5 +79,8 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
 }

@@ -1,0 +1,157 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		var hits [100]atomic.Int32
+		if err := ForEach(workers, len(hits), func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if n := hits[i].Load(); n != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+func TestForEachFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 50, func(i int) error {
+			if i == 7 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
+		}
+	}
+	// Sequential mode stops AT the error: nothing after it runs.
+	ran := 0
+	_ = ForEach(1, 50, func(i int) error {
+		ran++
+		if i == 7 {
+			return boom
+		}
+		return nil
+	})
+	if ran != 8 {
+		t.Fatalf("sequential ran %d calls after an error at index 7", ran)
+	}
+}
+
+func TestForEachCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		ran := false
+		err := ForEachCtx(ctx, workers, 10, func(int) error { ran = true; return nil })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran {
+			t.Fatalf("workers=%d: fn ran under a pre-cancelled context", workers)
+		}
+	}
+	// Even an empty range reports the cancellation.
+	if err := ForEachCtx(ctx, 4, 0, func(int) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("n=0: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestForEachCtxAbortsQueuedWork cancels mid-flight and verifies the
+// pool stops handing out indices: with n far larger than the number of
+// calls that can start before the cancellation, most of the range must
+// remain unvisited.
+func TestForEachCtxAbortsQueuedWork(t *testing.T) {
+	const n = 1 << 20
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	var once sync.Once
+	err := ForEachCtx(ctx, 4, n, func(i int) error {
+		started.Add(1)
+		once.Do(func() {
+			cancel()
+			time.Sleep(5 * time.Millisecond) // let the cancellation reach every worker
+		})
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := started.Load(); got > n/2 {
+		t.Fatalf("%d of %d indices started after cancellation", got, n)
+	}
+}
+
+func TestForEachCtxSequentialAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	err := ForEachCtx(ctx, 1, 100, func(i int) error {
+		ran++
+		if i == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 4 {
+		t.Fatalf("sequential ran %d calls after cancelling at index 3", ran)
+	}
+}
+
+// TestForEachCtxErrorWins: an fn error that caused the stop is reported
+// even when the context is cancelled around the same time.
+func TestForEachCtxErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := ForEachCtx(ctx, 4, 100, func(i int) error {
+		if i == 0 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom to take precedence", err)
+	}
+}
+
+func TestForEachCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := ForEachCtx(ctx, 4, 1<<30, func(i int) error {
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func BenchmarkForEachOverhead(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = ForEach(workers, 64, func(int) error { return nil })
+			}
+		})
+	}
+}

@@ -21,6 +21,7 @@ package xfd
 // representatives is sound.
 
 import (
+	"context"
 	"fmt"
 
 	"xmlnorm/internal/dtd"
@@ -356,16 +357,18 @@ func shardLabel(cl *cluster, t *xmltree.Tree) string {
 // tuple of an LHS group RHS-agrees with the shard's stored
 // representative, and RHS agreement is transitive, comparing
 // representatives across shards decides exactly the conflicts the
-// sequential pass would find. Returns (nil, false) when sharding is
-// not applicable (too few shards or workers) — the caller falls back
-// to the sequential path.
-func (cs *CheckerSet) shardVerdict(cl *cluster, t *xmltree.Tree, workers int) (bad map[int]bool, ok bool) {
+// sequential pass would find. Returns (nil, false, nil) when sharding
+// is not applicable (too few shards or workers) — the caller falls
+// back to the sequential path. A cancelled ctx aborts the fan-out
+// between shards (pool.ForEachCtx stops handing out indices) and
+// returns the context's error.
+func (cs *CheckerSet) shardVerdict(ctx context.Context, cl *cluster, t *xmltree.Tree, workers int) (bad map[int]bool, ok bool, err error) {
 	if workers <= 1 {
-		return nil, false
+		return nil, false, nil
 	}
 	label := shardLabel(cl, t)
 	if label == "" {
-		return nil, false
+		return nil, false, nil
 	}
 	shards := shardTrees(t, label)
 	type shardRes struct {
@@ -373,7 +376,7 @@ func (cs *CheckerSet) shardVerdict(cl *cluster, t *xmltree.Tree, workers int) (b
 		violated []bool
 	}
 	results := make([]*shardRes, len(shards))
-	pool.ForEach(workers, len(shards), func(s int) error {
+	err = pool.ForEachCtx(ctx, workers, len(shards), func(s int) error {
 		res := &shardRes{
 			groups:   make([]map[string]tuples.Tuple, len(cl.fds)),
 			violated: make([]bool, len(cl.fds)),
@@ -409,6 +412,9 @@ func (cs *CheckerSet) shardVerdict(cl *cluster, t *xmltree.Tree, workers int) (b
 		results[s] = res
 		return nil
 	})
+	if err != nil {
+		return nil, false, err
+	}
 	// The per-FD merges are independent, so they fan out over the pool
 	// too: worker li touches only results[*].groups[li] (read-only
 	// after the fold pass above) and its own badLocal slot. The
@@ -418,7 +424,7 @@ func (cs *CheckerSet) shardVerdict(cl *cluster, t *xmltree.Tree, workers int) (b
 	// keeps the result identical to the sequential merge at any worker
 	// count.
 	badLocal := make([]bool, len(cl.fds))
-	pool.ForEach(workers, len(cl.fds), func(li int) error {
+	err = pool.ForEachCtx(ctx, workers, len(cl.fds), func(li int) error {
 		cf := &cs.fds[cl.fds[li]]
 		merged := make(map[string]tuples.Tuple)
 		for _, res := range results {
@@ -440,27 +446,38 @@ func (cs *CheckerSet) shardVerdict(cl *cluster, t *xmltree.Tree, workers int) (b
 		}
 		return nil
 	})
+	if err != nil {
+		return nil, false, err
+	}
 	bad = make(map[int]bool)
 	for li, fi := range cl.fds {
 		if badLocal[li] {
 			bad[fi] = true
 		}
 	}
-	return bad, true
+	return bad, true, nil
 }
 
 // violatedSharded collects the violated FD indices across all clusters
 // applicable to the document, sharding each cluster's verdict pass
 // over up to workers goroutines (clusters with nothing to fan out run
-// sequentially).
-func (cs *CheckerSet) violatedSharded(t *xmltree.Tree, workers int) map[int]bool {
+// sequentially). The context is checked between clusters and between
+// shards; a cancellation surfaces as the context's error.
+func (cs *CheckerSet) violatedSharded(ctx context.Context, t *xmltree.Tree, workers int) (map[int]bool, error) {
 	all := make(map[int]bool)
 	for ci := range cs.clusters {
 		cl := &cs.clusters[ci]
 		if cl.label != t.Root.Label {
 			continue
 		}
-		if bad, ok := cs.shardVerdict(cl, t, workers); ok {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		bad, ok, err := cs.shardVerdict(ctx, cl, t, workers)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
 			for fi := range bad {
 				all[fi] = true
 			}
@@ -471,7 +488,7 @@ func (cs *CheckerSet) violatedSharded(t *xmltree.Tree, workers int) map[int]bool
 			return true
 		})
 	}
-	return all
+	return all, nil
 }
 
 // SatisfiesAllSharded is SatisfiesAll with each cluster's verdict pass
@@ -480,7 +497,19 @@ func (cs *CheckerSet) violatedSharded(t *xmltree.Tree, workers int) map[int]bool
 // out, falls back to the sequential walk). The verdict is identical to
 // SatisfiesAll's.
 func (cs *CheckerSet) SatisfiesAllSharded(t *xmltree.Tree, workers int) bool {
-	return len(cs.violatedSharded(t, workers)) == 0
+	ok, _ := cs.SatisfiesAllShardedCtx(context.Background(), t, workers)
+	return ok
+}
+
+// SatisfiesAllShardedCtx is SatisfiesAllSharded under a context: a
+// cancellation aborts the remaining shards promptly and returns the
+// context's error (the verdict is then meaningless).
+func (cs *CheckerSet) SatisfiesAllShardedCtx(ctx context.Context, t *xmltree.Tree, workers int) (bool, error) {
+	bad, err := cs.violatedSharded(ctx, t, workers)
+	if err != nil {
+		return false, err
+	}
+	return len(bad) == 0, nil
 }
 
 // ViolationsSharded is Violations with each cluster's verdict pass
@@ -490,5 +519,21 @@ func (cs *CheckerSet) SatisfiesAllSharded(t *xmltree.Tree, workers int) bool {
 // regardless of worker count or scheduling. Documents that satisfy Σ
 // (the common case) never pay for the witness pass.
 func (cs *CheckerSet) ViolationsSharded(t *xmltree.Tree, workers int) []Violated {
-	return cs.WitnessReport(t, cs.violatedSharded(t, workers))
+	out, _ := cs.ViolationsShardedCtx(context.Background(), t, workers)
+	return out
+}
+
+// ViolationsShardedCtx is ViolationsSharded under a context, the form
+// a server uses so shutdown and per-request deadlines stop in-flight
+// checks: once ctx is cancelled, no further shard is started and the
+// context's error is returned with a nil report.
+func (cs *CheckerSet) ViolationsShardedCtx(ctx context.Context, t *xmltree.Tree, workers int) ([]Violated, error) {
+	bad, err := cs.violatedSharded(ctx, t, workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return cs.WitnessReport(t, bad), nil
 }

@@ -226,8 +226,8 @@ func TestCheckerSetShardedWideFanOut(t *testing.T) {
 	root := xmltree.NewNode("r")
 	for i := 0; i < 64; i++ {
 		c := xmltree.NewNode("c")
-		c.SetAttr("k", "key")       // one shared LHS group
-		if i == 37 {                // exactly one deviant RHS value
+		c.SetAttr("k", "key") // one shared LHS group
+		if i == 37 {          // exactly one deviant RHS value
 			c.SetAttr("v", "other")
 		} else {
 			c.SetAttr("v", "same")

@@ -79,6 +79,14 @@ func (ix *Index) Tree() *Tree { return ix.tree }
 // Len returns the number of element nodes in the tree.
 func (ix *Index) Len() int { return len(ix.nodes) }
 
+// Has reports whether the vertex ID is in the indexed tree — the O(1)
+// membership probe behind freshness checks that fold several walks
+// into one (the transaction insert path of internal/incremental).
+func (ix *Index) Has(id NodeID) bool {
+	_, ok := ix.nodes[id]
+	return ok
+}
+
 // Node returns the node with the given vertex ID, or an
 // UnknownNodeError.
 func (ix *Index) Node(id NodeID) (*Node, error) {
@@ -193,6 +201,85 @@ func (ix *Index) InsertSubtree(parentID NodeID, sub *Node) error {
 		return err
 	}
 	return nil
+}
+
+// GraftSubtreeAt splices sub in as child i (0 ≤ i ≤ len(Children)) of
+// the addressed parent and registers its vertices. It is InsertSubtree
+// with a position and without the freshness pre-walk: callers that
+// have already vetted the subtree against the tree (CheckInsert, or an
+// equivalent combined walk) use it to skip the redundant pass, and the
+// rollback path of a transaction uses the position to re-attach a
+// deleted subtree exactly where it was. The register walk still fails
+// closed on any ID collision, undoing the splice.
+func (ix *Index) GraftSubtreeAt(parentID NodeID, i int, sub *Node) error {
+	p, err := ix.Node(parentID)
+	if err != nil {
+		return err
+	}
+	if sub == nil {
+		return fmt.Errorf("xmltree: insert of a nil subtree")
+	}
+	if p.HasText {
+		return fmt.Errorf("xmltree: node #%d <%s> has string content; mixed content is not representable", parentID, p.Label)
+	}
+	if i < 0 || i > len(p.Children) {
+		return fmt.Errorf("xmltree: graft position %d out of range [0, %d] under node #%d", i, len(p.Children), parentID)
+	}
+	p.Children = append(p.Children, nil)
+	copy(p.Children[i+1:], p.Children[i:])
+	p.Children[i] = sub
+	var added []NodeID
+	if err := ix.registerTrack(sub, p, &added); err != nil {
+		// Undo EXACTLY what this call registered: a collision may be
+		// against the tree itself, so a blind subtree deregistration
+		// would evict live entries.
+		p.Children = append(p.Children[:i], p.Children[i+1:]...)
+		for _, id := range added {
+			delete(ix.nodes, id)
+			delete(ix.parent, id)
+		}
+		return err
+	}
+	return nil
+}
+
+// registerTrack is register with an audit trail of the IDs it added,
+// so a failed graft can be undone precisely.
+func (ix *Index) registerTrack(n *Node, parent *Node, added *[]NodeID) error {
+	if prev, ok := ix.nodes[n.ID]; ok {
+		return fmt.Errorf("xmltree: duplicate node #%d (labels %q and %q)", n.ID, prev.Label, n.Label)
+	}
+	ix.nodes[n.ID] = n
+	if parent != nil {
+		ix.parent[n.ID] = parent
+	}
+	*added = append(*added, n.ID)
+	for _, c := range n.Children {
+		if err := ix.registerTrack(c, n, added); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ChildIndex returns the position of the node among its parent's
+// children, or -1 for the root. Recorded before a DeleteSubtree, it is
+// what GraftSubtreeAt needs to undo the delete exactly.
+func (ix *Index) ChildIndex(id NodeID) (int, error) {
+	n, err := ix.Node(id)
+	if err != nil {
+		return 0, err
+	}
+	p := ix.parent[id]
+	if p == nil {
+		return -1, nil
+	}
+	for i, c := range p.Children {
+		if c == n {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("xmltree: node #%d is not among its parent's children (index corrupted)", id)
 }
 
 // DeleteSubtree detaches the addressed node (and everything below it)

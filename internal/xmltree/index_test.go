@@ -152,3 +152,64 @@ func TestIndexTypedErrors(t *testing.T) {
 		t.Fatal("NewIndex over duplicate IDs should fail")
 	}
 }
+
+func TestIndexGraftSubtreeAt(t *testing.T) {
+	doc := MustParseString(`<r><a/><b/><c/></r>`)
+	ix, err := NewIndex(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := doc.Root.Children[1]
+	pos, err := ix.ChildIndex(b.ID)
+	if err != nil || pos != 1 {
+		t.Fatalf("ChildIndex(b) = %d, %v; want 1", pos, err)
+	}
+	if pos, err := ix.ChildIndex(doc.Root.ID); err != nil || pos != -1 {
+		t.Fatalf("ChildIndex(root) = %d, %v; want -1", pos, err)
+	}
+	if err := ix.DeleteSubtree(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Has(b.ID) {
+		t.Fatal("Has reports a deleted node")
+	}
+	// Graft it back at its recorded position: the delete is undone.
+	if err := ix.GraftSubtreeAt(doc.Root.ID, pos, b); err != nil {
+		t.Fatal(err)
+	}
+	checkCoherent(t, ix)
+	if !ix.Has(b.ID) {
+		t.Fatal("Has misses a grafted node")
+	}
+	var labels []string
+	for _, c := range doc.Root.Children {
+		labels = append(labels, c.Label)
+	}
+	if len(labels) != 3 || labels[0] != "a" || labels[1] != "b" || labels[2] != "c" {
+		t.Fatalf("children after graft: %v, want [a b c]", labels)
+	}
+
+	// Out-of-range positions and nil subtrees are rejected.
+	if err := ix.GraftSubtreeAt(doc.Root.ID, 4, NewNode("x")); err == nil {
+		t.Fatal("graft past the end should fail")
+	}
+	if err := ix.GraftSubtreeAt(doc.Root.ID, -1, NewNode("x")); err == nil {
+		t.Fatal("graft at -1 should fail")
+	}
+	if err := ix.GraftSubtreeAt(doc.Root.ID, 0, nil); err == nil {
+		t.Fatal("graft of nil should fail")
+	}
+
+	// A graft colliding with the TREE fails closed and must not evict
+	// the tree's own index entries.
+	clash := NewNode("z")
+	clash.Append(b) // b is registered: register fails mid-walk
+	if err := ix.GraftSubtreeAt(doc.Root.ID, 0, clash); err == nil {
+		t.Fatal("graft of an already-indexed subtree should fail")
+	}
+	checkCoherent(t, ix)
+	if !ix.Has(b.ID) {
+		t.Fatal("failed graft evicted a live tree node from the index")
+	}
+	clash.Children = nil // detach for hygiene
+}

@@ -30,6 +30,7 @@
 package xmlnorm
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -90,6 +91,14 @@ type (
 	// retracting and re-asserting only the tree tuples the edit can
 	// touch, instead of re-streaming the whole tree. See NewSession.
 	Session = incremental.Session
+	// Txn is an open transaction on a Session (Session.Begin): a batch
+	// of edits folded in one retract/assert pass at Commit, invisible
+	// to readers until then, undone entirely by Rollback.
+	Txn = incremental.Txn
+	// Snapshot is one committed epoch of a Session: an immutable
+	// verdict + report readers can pin (Session.Snapshot) and keep
+	// reading, lock-free, while later transactions commit.
+	Snapshot = incremental.Snapshot
 	// ReaderOptions configures the streaming checker entry points
 	// (CheckDocumentReader); the zero value applies the default
 	// nesting bound.
@@ -268,17 +277,39 @@ func ViolationsOpts(t *Tree, sigma []FD, eo EngineOptions) []Violated {
 	return cs.ViolationsSharded(t, eo.WorkerCount())
 }
 
+// ViolationsCtx is ViolationsOpts under a context: cancellation or a
+// deadline aborts the in-flight sharded fold promptly and returns the
+// context's error — how a server bounds a from-scratch verdict pass by
+// the request's lifetime. The compiled checker comes from the
+// process-global registry, so repeated calls over one Σ compile once.
+func ViolationsCtx(ctx context.Context, t *Tree, sigma []FD, eo EngineOptions) ([]Violated, error) {
+	if len(sigma) == 0 {
+		return nil, ctx.Err()
+	}
+	cs, err := engine.SharedCheckers(sigma)
+	if err != nil {
+		return nil, err
+	}
+	return cs.ViolationsShardedCtx(ctx, t, eo.WorkerCount())
+}
+
 // NewSession builds an incremental checker for the specification's Σ
 // over the document: one full validation pass up front, then each
-// Session edit (SetAttr, SetText, InsertSubtree, DeleteSubtree)
-// re-validates by streaming only the tuples crossing the edited
-// region. Session.Violated reports the violated FD indices (Σ order)
-// in O(|Σ|); Session.Report re-derives full witness reports that are
-// bit-identical to Violations on the current tree. Apply every
-// mutation through the Session — editing the tree directly leaves its
-// state stale. A Session is not safe for concurrent use.
+// edit — a batched Txn from Session.Begin, or the single-edit
+// convenience methods — re-validates by streaming only the tuples
+// crossing the edited region. Session.Violated reports the violated
+// FD indices (Σ order) in O(|Σ|); Session.Report derives full witness
+// reports that are bit-identical to Violations on the current tree.
+// Apply every mutation through the Session — editing the tree
+// directly leaves its state stale.
+//
+// Concurrency: one writer at a time (Begin serializes), while
+// Violated, Satisfied, Report and Snapshot are safe from any number
+// of goroutines and never block on a writer. Sessions over the same Σ
+// share one compiled checker through the process-global registry, so
+// a server hosting many documents under one spec compiles it once.
 func NewSession(s Spec, doc *Tree) (*Session, error) {
-	cs, err := xfd.NewCheckerSetFor(s.FDs)
+	cs, err := engine.SharedCheckers(s.FDs)
 	if err != nil {
 		return nil, err
 	}
