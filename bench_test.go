@@ -409,3 +409,19 @@ func BenchmarkE21_ServeThroughput(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE22_CorpusChecking: 1000 small documents through the
+// one-compile corpus sweep vs the recompile-per-file baseline, plus the
+// fragment fold/serialize/merge identity pass. CI runs this with
+// -count=3 and archives the cmd/experiments JSON of the same sweep as
+// the BENCH_corpus.json artifact. The ≥3x corpus gate and the
+// fragment-identity gates are checked by the `cmd/experiments E22` CI
+// step; here only hard errors fail, so timing noise can't flake the
+// bench job.
+func BenchmarkE22_CorpusChecking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E22CorpusChecking(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+// The corpus mode of "xnf check": -r sweeps a directory tree, checking
+// every matching file against Σ through ONE compiled checker shared by
+// a bounded worker pool, and emits one NDJSON verdict per file — the
+// exact wire object "check -json", "watch -json" and the serve
+// endpoints use, with an "error" field for files that could not be
+// checked. Verdicts stream to stdout in lexical walk order; the
+// summary goes to stderr. One malformed or unreadable file never
+// aborts the sweep: it becomes that file's verdict, and the sweep's
+// exit status (see exitCode) reports failures over violations over
+// success.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"xmlnorm"
+)
+
+// corpusCheck runs the -r sweep over dir and renders the NDJSON
+// verdict stream. The sweep runs under a signal context, so Ctrl-C
+// stops handing out files promptly instead of finishing the walk.
+func corpusCheck(s xmlnorm.Spec, dir string, witness bool, maxDepth int) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opts := xmlnorm.CorpusOptions{Workers: engOpts.WorkerCount(), MaxDepth: maxDepth}
+	var emitErr error
+	sum, err := xmlnorm.CheckCorpus(ctx, s.FDs, dir, opts, func(v xmlnorm.CorpusVerdict) {
+		if emitErr != nil {
+			return
+		}
+		obj := verdictObject(v.Path, 0, len(s.FDs), v.Violated, witness)
+		if v.Err != nil {
+			obj.Satisfied = false
+			obj.Error = v.Err.Error()
+		}
+		emitErr = writeJSON(os.Stdout, obj)
+	})
+	if err != nil {
+		return err
+	}
+	if emitErr != nil {
+		return emitErr
+	}
+	fmt.Fprintf(os.Stderr, "checked %d document(s): %d satisfied, %d violating, %d failed\n",
+		sum.Docs, sum.Satisfied, sum.Violating, sum.Failed)
+	switch {
+	case sum.Failed > 0:
+		return fmt.Errorf("%d of %d document(s) could not be checked", sum.Failed, sum.Docs)
+	case sum.Violating > 0:
+		return errNegative
+	}
+	return nil
+}

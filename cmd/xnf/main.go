@@ -9,6 +9,8 @@
 //	xnf check <spec>                 test XNF, list anomalous FDs
 //	xnf check <spec> <doc.xml>       check the document against Σ (streaming)
 //	xnf check -stream <spec> <doc>   check straight off the bytes, constant memory
+//	xnf check -r <spec> <dir>        check every .xml under dir, NDJSON verdicts
+//	xnf check -fragments K ...       check via K merged fragment folds
 //	xnf normalize <spec>             print the normalized specification
 //	xnf implies <spec> "<fd>"        decide (D, Σ) ⊢ fd
 //	xnf classify <spec>              DTD taxonomy (simple/disjunctive/N_D/...)
@@ -38,6 +40,21 @@
 // (default on). Both default to the fastest setting; the sequential
 // uncached path (-parallel=1 -cache=false) produces identical output
 // and exists for measurement and differential testing.
+//
+// # Exit status
+//
+// Every subcommand follows one contract, for single documents and
+// multi-input sweeps alike:
+//
+//	0  success, every answer positive (in XNF, implied, all documents
+//	   satisfy Σ, every edit script line applied cleanly)
+//	1  the command ran to completion but some answer is negative (not
+//	   in XNF, not implied, FDs violated, some corpus document
+//	   violating)
+//	2  the run failed: usage errors, unreadable specs, malformed
+//	   single documents, or a corpus sweep in which some file could
+//	   not be checked (each such file is also reported in its own
+//	   NDJSON verdict; failures take precedence over violations)
 package main
 
 import (
@@ -57,18 +74,33 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		if errors.Is(err, errNegative) {
-			os.Exit(2)
-		}
+	err := run(os.Args[1:])
+	if err != nil && !errors.Is(err, errNegative) {
 		fmt.Fprintln(os.Stderr, "xnf:", err)
-		os.Exit(1)
+	}
+	os.Exit(exitCode(err))
+}
+
+// exitCode maps a run outcome onto the documented exit contract (see
+// the package comment): 0 for a positive answer, 1 for a negative one,
+// 2 for a failed run. Failures outrank negative answers — a corpus
+// sweep that both found violations and failed to read some file exits
+// 2, because run wraps the failure, not errNegative.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, errNegative):
+		return 1
+	default:
+		return 2
 	}
 }
 
 // errNegative marks a successful run whose answer is negative (not in
-// XNF, not implied, FDs violated); main exits 2 so scripts can branch
-// on the result without parsing output.
+// XNF, not implied, FDs violated); main exits 1 so scripts can branch
+// on the result without parsing output, and distinguish it from the
+// failure exit 2.
 var errNegative = errors.New("negative result")
 
 func usage() error {
@@ -150,21 +182,41 @@ func cmdCheck(args []string) error {
 	stream := fs.Bool("stream", false, "check the document against Σ straight off the byte stream, in constant memory (skips DTD conformance); default when the document is stdin")
 	maxDepth := fs.Int("maxdepth", 0, "element nesting limit for -stream (0 = default limit, negative = unlimited)")
 	jsonOut := fs.Bool("json", false, "emit the document verdict as one JSON object (the xnf serve wire format)")
+	recurse := fs.Bool("r", false, "treat the second argument as a directory: check every matching file under it, one NDJSON verdict per file")
+	fragments := fs.Int("fragments", 0, "check the document as K independently folded fragments merged into one verdict (0 = whole-document check)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 && fs.NArg() != 2 {
-		return fmt.Errorf("usage: xnf check [-witness] [-stream] [-maxdepth N] [-json] <spec> [doc.xml]")
+		return fmt.Errorf("usage: xnf check [-witness] [-stream] [-r] [-fragments K] [-maxdepth N] [-json] <spec> [doc.xml|dir]")
 	}
 	if *jsonOut && fs.NArg() != 2 {
 		return fmt.Errorf("check -json reports document verdicts; pass a document")
+	}
+	if *fragments > 0 && fs.NArg() != 2 && !*recurse {
+		return fmt.Errorf("check -fragments checks documents; pass one")
 	}
 	s, err := loadSpec(fs.Arg(0))
 	if err != nil {
 		return err
 	}
+	if *recurse {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("check -r sweeps a directory; pass one")
+		}
+		if *fragments > 0 {
+			return fmt.Errorf("check -r and -fragments are mutually exclusive")
+		}
+		return corpusCheck(s, fs.Arg(1), *witness, *maxDepth)
+	}
 	if fs.NArg() == 2 {
 		opts := checkOutput{witness: *witness, json: *jsonOut, doc: fs.Arg(1)}
+		if *fragments > 0 {
+			if *stream {
+				return fmt.Errorf("check -fragments needs the materialized tree; drop -stream")
+			}
+			return fragmentCheckDocument(s, fs.Arg(1), opts, *fragments)
+		}
 		if *stream || fs.Arg(1) == "-" {
 			return streamCheckDocument(s, fs.Arg(1), opts, *maxDepth)
 		}
@@ -207,6 +259,28 @@ func checkDocument(s xmlnorm.Spec, docPath string, out checkOutput) error {
 		return fmt.Errorf("document does not conform to the spec: %v", err)
 	}
 	return printCheckVerdict(xmlnorm.ViolationsOpts(doc, s.FDs, engOpts), len(s.FDs), out)
+}
+
+// fragmentCheckDocument is the -fragments mode of "xnf check": the
+// document is split at a top-level sibling group into up to k
+// fragments whose per-FD fold states are computed independently and
+// merged associatively into the whole-document verdict (the
+// distributed-checking substrate, exercised end to end). Witnesses are
+// re-derived for the violated FDs only, so the output is identical to
+// the whole-document modes at every k.
+func fragmentCheckDocument(s xmlnorm.Spec, docPath string, out checkOutput, k int) error {
+	doc, err := loadDoc(docPath)
+	if err != nil {
+		return err
+	}
+	if err := xmlnorm.ConformsUnordered(doc, s.DTD); err != nil {
+		return fmt.Errorf("document does not conform to the spec: %v", err)
+	}
+	violated, err := xmlnorm.ViolationsFragmented(doc, s.FDs, k)
+	if err != nil {
+		return err
+	}
+	return printCheckVerdict(violated, len(s.FDs), out)
 }
 
 // streamCheckDocument is the -stream mode of "xnf check": T ⊨ Σ is

@@ -4,7 +4,7 @@ package main
 // document check must print byte-identical verdicts and witnesses to
 // the tree path, stdin documents must take the streaming path, and
 // malformed or over-deep input must exit through the error path (exit
-// code 1), not the negative-result path (exit code 2).
+// code 2), not the negative-result path (exit code 1).
 
 import (
 	"errors"

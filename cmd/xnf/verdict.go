@@ -35,6 +35,11 @@ type verdictJSON struct {
 	// Inserted maps inserted root labels to their assigned NodeIDs, in
 	// script order, so later edits can address them as "#<id>".
 	Inserted []insertedJSON `json:"inserted,omitempty"`
+	// Error is set when the document could not be checked at all
+	// (unreadable, malformed, over-deep) — corpus sweeps emit such
+	// entries instead of aborting. Satisfied is false then and the
+	// violation fields are absent.
+	Error string `json:"error,omitempty"`
 }
 
 type violatedJSON struct {

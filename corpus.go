@@ -1,0 +1,84 @@
+package xmlnorm
+
+// Corpus- and fragment-scale checking: the facade over internal/corpus
+// (many documents, one compiled checker) and internal/xfd's FoldState
+// (one document, many independently checkable fragments). Both reuse
+// the process-global registry, so a sweep over thousands of files and
+// a server hosting thousands of sessions compile each Σ exactly once.
+
+import (
+	"context"
+
+	"xmlnorm/internal/corpus"
+	"xmlnorm/internal/engine"
+	"xmlnorm/internal/pool"
+	"xmlnorm/internal/xfd"
+)
+
+// Corpus-level types, re-exported from internal/corpus.
+type (
+	// CorpusOptions configures CheckCorpus: worker bound, nesting
+	// bound, extension filter. The zero value checks ".xml" files on
+	// GOMAXPROCS workers with the default nesting bound.
+	CorpusOptions = corpus.Options
+	// CorpusVerdict is one file's outcome: its violated FDs, or the
+	// isolated error (unreadable, malformed, over-deep) that kept it
+	// from being checked.
+	CorpusVerdict = corpus.Verdict
+	// CorpusSummary counts a sweep: documents seen, satisfied,
+	// violating, failed.
+	CorpusSummary = corpus.Summary
+)
+
+// CheckCorpus checks every matching document under dir against Σ: ONE
+// compiled checker (from the process-global registry) shared across
+// all files, files fanned out over the worker pool, each streamed in
+// constant memory via the reader-driven checker. Verdicts arrive on
+// emit (which may be nil) in lexical walk order; a malformed or
+// unreadable file becomes that entry's error without aborting the
+// sweep; symlinked directories are never followed, so cycles cannot
+// hang the walk. Cancelling ctx stops the sweep with the context's
+// error. The returned summary counts the emitted verdicts.
+func CheckCorpus(ctx context.Context, sigma []FD, dir string, opts CorpusOptions, emit func(CorpusVerdict)) (CorpusSummary, error) {
+	cs, err := engine.SharedCheckers(sigma)
+	if err != nil {
+		return CorpusSummary{}, err
+	}
+	return corpus.Check(ctx, cs, dir, opts, emit)
+}
+
+// ViolationsFragmented is Violations computed the distributed way: the
+// document is split at a top-level sibling group into up to k
+// fragments (xfd.CheckerSet.SplitFragments), each fragment's per-FD
+// fold state is computed independently — here in parallel over the
+// worker pool; on a cluster, each state could be computed on its own
+// node and shipped as bytes (xfd.FoldState) — and the states are
+// merged associatively into the whole-document verdict. Witnesses are
+// then re-derived for the violated FDs only, so the report is
+// bit-identical to Violations' for every k. k < 2 degenerates to the
+// sequential fold.
+func ViolationsFragmented(t *Tree, sigma []FD, k int) ([]Violated, error) {
+	if len(sigma) == 0 {
+		return nil, nil
+	}
+	cs, err := engine.SharedCheckers(sigma)
+	if err != nil {
+		return nil, err
+	}
+	frags := cs.SplitFragments(t, k)
+	states := make([]*xfd.FoldState, len(frags))
+	if err := pool.ForEach(k, len(frags), func(i int) error {
+		states[i] = cs.NewFoldState()
+		states[i].Fold(frags[i])
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	merged := states[0]
+	for _, st := range states[1:] {
+		if err := merged.Merge(st); err != nil {
+			return nil, err
+		}
+	}
+	return cs.WitnessReport(t, merged.ViolatedSet()), nil
+}

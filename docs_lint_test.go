@@ -1,0 +1,60 @@
+package xmlnorm
+
+// TestDocLinks is the docs-lint gate: every relative link target in
+// the top-level markdown documents must exist in the repository, so a
+// rename or a deleted experiment section can't silently orphan the
+// cross-references ARCHITECTURE.md is built on. External (scheme'd)
+// links and pure intra-document anchors are out of scope — the test
+// stays hermetic.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var docFiles = []string{
+	"README.md",
+	"DESIGN.md",
+	"EXPERIMENTS.md",
+	"ARCHITECTURE.md",
+	"ROADMAP.md",
+	"PAPER.md",
+}
+
+// mdLink matches inline markdown links; the target is group 1.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func TestDocLinks(t *testing.T) {
+	for _, doc := range docFiles {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Errorf("%s: %v", doc, err)
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			// Strip an intra-document anchor; a bare "#anchor" needs no
+			// file check.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			clean := filepath.Clean(filepath.FromSlash(target))
+			if strings.HasPrefix(clean, "..") {
+				t.Errorf("%s: link %q escapes the repository", doc, m[1])
+				continue
+			}
+			if _, err := os.Stat(clean); err != nil {
+				t.Errorf("%s: link target %q does not exist", doc, m[1])
+			}
+		}
+	}
+}

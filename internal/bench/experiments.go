@@ -1010,6 +1010,7 @@ var registry = []struct {
 	{"E19", func(Options) (*Table, error) { return E19IncrementalChecking() }},
 	{"E20", func(Options) (*Table, error) { return E20SAXFusion() }},
 	{"E21", func(Options) (*Table, error) { return E21ServeThroughput() }},
+	{"E22", func(Options) (*Table, error) { return E22CorpusChecking() }},
 }
 
 // Run executes the selected experiments in suite order with the given

@@ -1,0 +1,187 @@
+// Package corpus checks many documents against one compiled FD set:
+// the fan-out layer between a directory tree (or an explicit file
+// list) and xfd.CheckReader. One CheckerSet — typically the
+// process-global one from engine.SharedCheckers — is shared by every
+// file; the files fan out across internal/pool with bounded
+// concurrency; each file streams through the reader-driven checker in
+// constant memory, and its verdict (or its failure: a malformed file,
+// an unreadable file, a dead symlink) is delivered through a callback
+// in walk order, isolated from every other file's. The walker itself
+// is deliberately boring: lexical WalkDir order, no symlinked
+// directories followed (so cycles cannot occur), extension-filtered
+// regular files and file symlinks only.
+package corpus
+
+import (
+	"context"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"xmlnorm/internal/pool"
+	"xmlnorm/internal/xfd"
+)
+
+// Options configures a corpus check. The zero value means GOMAXPROCS
+// workers, the default nesting bound, and ".xml" files.
+type Options struct {
+	// Workers bounds the concurrent file checks (0 = GOMAXPROCS,
+	// 1 = sequential).
+	Workers int
+	// MaxDepth is xfd.ReaderOptions.MaxDepth for every file: 0 means
+	// the default element-nesting bound, negative means unlimited.
+	MaxDepth int
+	// Exts are the file extensions to check, compared case-insensitively
+	// with their leading dot (default: ".xml").
+	Exts []string
+}
+
+func (o Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return pool.DefaultWorkers()
+}
+
+func (o Options) wantExt(name string) bool {
+	ext := filepath.Ext(name)
+	if len(o.Exts) == 0 {
+		return strings.EqualFold(ext, ".xml")
+	}
+	for _, e := range o.Exts {
+		if strings.EqualFold(ext, e) {
+			return true
+		}
+	}
+	return false
+}
+
+// Verdict is one corpus entry's result: the violated FDs of one
+// document, or the error that kept it from being checked (unreadable,
+// malformed, over-deep). Err and Violated are mutually exclusive; a
+// satisfied document has both nil.
+type Verdict struct {
+	Path     string
+	Violated []xfd.Violated
+	Err      error
+}
+
+// Summary counts a corpus sweep: Docs entries emitted, of which
+// Satisfied passed, Violating failed some FD, and Failed errored.
+type Summary struct {
+	Docs, Satisfied, Violating, Failed int
+}
+
+// Walk collects the corpus entries under dir: the extension-matching
+// regular files (and symlinks to files) in lexical walk order.
+// Unreadable directories become entries carrying the walk error, so a
+// sweep reports them without aborting. Symlinked directories are not
+// descended into — that is what makes a corpus with symlink cycles
+// terminate — and other specials (sockets, devices) are skipped.
+func Walk(dir string, opts Options) ([]Verdict, error) {
+	var items []Verdict
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			// Isolate: report the unreadable entry, keep walking.
+			items = append(items, Verdict{Path: path, Err: err})
+			return nil
+		}
+		if d.IsDir() || !opts.wantExt(path) {
+			return nil
+		}
+		if t := d.Type(); !t.IsRegular() && t&fs.ModeSymlink == 0 {
+			return nil
+		}
+		items = append(items, Verdict{Path: path})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+// Check sweeps the directory tree: Walk to find the entries, then
+// CheckFiles to fan them out against the compiled set. See CheckFiles
+// for the emission and error-isolation contract.
+func Check(ctx context.Context, cs *xfd.CheckerSet, dir string, opts Options, emit func(Verdict)) (Summary, error) {
+	items, err := Walk(dir, opts)
+	if err != nil {
+		return Summary{}, err
+	}
+	return CheckFiles(ctx, cs, items, opts, emit)
+}
+
+// CheckFiles checks every entry against the compiled set, fanning the
+// files across up to opts.Workers goroutines while the one CheckerSet
+// (read-only after compilation) is shared by all of them. Each file
+// streams through cs.ViolationsReader — constant memory per worker,
+// however large the file — and every per-file failure is isolated
+// into that entry's Verdict.Err: one malformed or unreadable file
+// never aborts the sweep. Verdicts are delivered through emit (which
+// may be nil) in entry order regardless of which worker finishes
+// first, from whichever goroutine completed the reordering gap, one
+// call at a time. Cancelling ctx stops handing out files and returns
+// the context's error; entries already checked may go unemitted then.
+func CheckFiles(ctx context.Context, cs *xfd.CheckerSet, items []Verdict, opts Options, emit func(Verdict)) (Summary, error) {
+	ropts := xfd.ReaderOptions{MaxDepth: opts.MaxDepth}
+	var (
+		sum  Summary
+		mu   sync.Mutex // guards next, done, sum, and serializes emit
+		next int
+		done = make([]*Verdict, len(items))
+	)
+	// deliver records one finished entry and flushes the contiguous
+	// prefix of finished entries, keeping emission in entry order.
+	deliver := func(i int, v Verdict) {
+		mu.Lock()
+		defer mu.Unlock()
+		done[i] = &v
+		for next < len(done) && done[next] != nil {
+			d := done[next]
+			done[next] = nil
+			next++
+			sum.Docs++
+			switch {
+			case d.Err != nil:
+				sum.Failed++
+			case len(d.Violated) > 0:
+				sum.Violating++
+			default:
+				sum.Satisfied++
+			}
+			if emit != nil {
+				emit(*d)
+			}
+		}
+	}
+	err := pool.ForEachCtx(ctx, opts.workerCount(), len(items), func(i int) error {
+		v := items[i]
+		if v.Err == nil {
+			v.Violated, v.Err = checkFile(cs, v.Path, ropts)
+		}
+		deliver(i, v)
+		return nil
+	})
+	if err != nil {
+		return sum, err
+	}
+	return sum, nil
+}
+
+// checkFile streams one file through the reader-driven checker.
+func checkFile(cs *xfd.CheckerSet, path string, ropts xfd.ReaderOptions) ([]xfd.Violated, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	violated, err := cs.ViolationsReader(f, ropts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return violated, nil
+}

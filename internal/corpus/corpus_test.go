@@ -1,0 +1,247 @@
+package corpus_test
+
+// Walker and fan-out edge cases for corpus checking: empty files,
+// non-XML bytes, symlink cycles, unreadable files, deterministic
+// emission order under parallel workers, per-file error isolation, and
+// context cancellation. Run under -race in CI — the ordered-emission
+// sequencer and the shared CheckerSet make the suite a concurrency
+// test too.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"xmlnorm/internal/corpus"
+	"xmlnorm/internal/xfd"
+	"xmlnorm/internal/xmltree"
+)
+
+var testSigma = []xfd.FD{xfd.New([]string{"r.c.@k"}, []string{"r.c.v.S"})}
+
+func testCheckers(t *testing.T) *xfd.CheckerSet {
+	t.Helper()
+	cs, err := xfd.NewCheckerSetFor(testSigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+// write creates path (and its parents) with the given content.
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const satisfiedDoc = `<r><c k="1"><v>a</v></c><c k="2"><v>b</v></c></r>`
+const violatingDoc = `<r><c k="1"><v>a</v></c><c k="1"><v>b</v></c></r>`
+
+// TestCheckDirOrderAndIsolation builds a mixed corpus — satisfied,
+// violating, empty, non-XML, nested — and checks that every file gets
+// exactly one verdict, in lexical walk order regardless of worker
+// count, with per-file failures isolated from their neighbors.
+func TestCheckDirOrderAndIsolation(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "a_ok.xml"), satisfiedDoc)
+	write(t, filepath.Join(dir, "b_bad.xml"), violatingDoc)
+	write(t, filepath.Join(dir, "c_empty.xml"), "")
+	write(t, filepath.Join(dir, "d_junk.xml"), "this is not XML at all {")
+	write(t, filepath.Join(dir, "e_skipped.txt"), "not checked")
+	write(t, filepath.Join(dir, "sub/f_ok.xml"), satisfiedDoc)
+	write(t, filepath.Join(dir, "sub/g_truncated.xml"), "<r><c k=\"1\">")
+
+	wantOrder := []string{
+		filepath.Join(dir, "a_ok.xml"),
+		filepath.Join(dir, "b_bad.xml"),
+		filepath.Join(dir, "c_empty.xml"),
+		filepath.Join(dir, "d_junk.xml"),
+		filepath.Join(dir, "sub", "f_ok.xml"),
+		filepath.Join(dir, "sub", "g_truncated.xml"),
+	}
+	cs := testCheckers(t)
+	for _, workers := range []int{1, 8} {
+		var got []corpus.Verdict
+		sum, err := corpus.Check(context.Background(), cs, dir, corpus.Options{Workers: workers},
+			func(v corpus.Verdict) { got = append(got, v) })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(wantOrder) {
+			t.Fatalf("workers=%d: %d verdicts, want %d", workers, len(got), len(wantOrder))
+		}
+		for i, v := range got {
+			if v.Path != wantOrder[i] {
+				t.Fatalf("workers=%d: verdict %d is %s, want %s (emission must follow walk order)",
+					workers, i, v.Path, wantOrder[i])
+			}
+		}
+		if got[0].Err != nil || len(got[0].Violated) != 0 {
+			t.Fatalf("a_ok must be satisfied, got %+v", got[0])
+		}
+		if got[1].Err != nil || len(got[1].Violated) != 1 {
+			t.Fatalf("b_bad must violate the FD, got %+v", got[1])
+		}
+		for _, i := range []int{2, 3, 5} {
+			var me *xmltree.MalformedError
+			if !errors.As(got[i].Err, &me) {
+				t.Fatalf("%s must fail with a MalformedError, got %v", got[i].Path, got[i].Err)
+			}
+		}
+		want := corpus.Summary{Docs: 6, Satisfied: 2, Violating: 1, Failed: 3}
+		if sum != want {
+			t.Fatalf("workers=%d: summary %+v, want %+v", workers, sum, want)
+		}
+	}
+}
+
+// TestWalkSymlinks pins the symlink rules: a directory symlink cycle
+// terminates (symlinked directories are never descended into), a
+// symlink to a regular file is checked through, and a dangling symlink
+// is isolated as that entry's error.
+func TestWalkSymlinks(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "real", "doc.xml"), satisfiedDoc)
+	// Cycle: dir/real/loop -> dir, reached while walking dir.
+	if err := os.Symlink(dir, filepath.Join(dir, "real", "loop")); err != nil {
+		t.Skipf("symlinks unavailable: %v", err)
+	}
+	// File symlink: checked like the file it points to.
+	if err := os.Symlink(filepath.Join(dir, "real", "doc.xml"), filepath.Join(dir, "link.xml")); err != nil {
+		t.Fatal(err)
+	}
+	// Dangling symlink: an isolated per-file open error.
+	if err := os.Symlink(filepath.Join(dir, "gone.xml"), filepath.Join(dir, "dangling.xml")); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []corpus.Verdict
+	sum, err := corpus.Check(context.Background(), testCheckers(t), dir, corpus.Options{},
+		func(v corpus.Verdict) { got = append(got, v) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := corpus.Summary{Docs: 3, Satisfied: 2, Violating: 0, Failed: 1}
+	if sum != want {
+		paths := make([]string, len(got))
+		for i, v := range got {
+			paths[i] = fmt.Sprintf("%s err=%v", v.Path, v.Err)
+		}
+		t.Fatalf("summary %+v, want %+v; verdicts:\n%s", sum, want, paths)
+	}
+	for _, v := range got {
+		if filepath.Base(v.Path) == "dangling.xml" && v.Err == nil {
+			t.Fatal("dangling symlink must carry an error")
+		}
+	}
+}
+
+// TestUnreadableFile checks that a file the process cannot open is
+// isolated as that entry's error while the rest of the corpus is still
+// checked. Root can open anything, so the case is skipped there (CI
+// runs unprivileged).
+func TestUnreadableFile(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: chmod 0 does not make files unreadable")
+	}
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "a.xml"), satisfiedDoc)
+	write(t, filepath.Join(dir, "locked.xml"), satisfiedDoc)
+	if err := os.Chmod(filepath.Join(dir, "locked.xml"), 0); err != nil {
+		t.Fatal(err)
+	}
+	var got []corpus.Verdict
+	sum, err := corpus.Check(context.Background(), testCheckers(t), dir, corpus.Options{},
+		func(v corpus.Verdict) { got = append(got, v) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != 1 || sum.Satisfied != 1 {
+		t.Fatalf("summary %+v, want one satisfied and one failed", sum)
+	}
+	if got[1].Err == nil || !errors.Is(got[1].Err, os.ErrPermission) {
+		t.Fatalf("locked.xml: err = %v, want a permission error", got[1].Err)
+	}
+}
+
+// TestCheckFilesCancellation checks that cancelling the context stops
+// the sweep with the context's error instead of checking every file.
+func TestCheckFilesCancellation(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 64; i++ {
+		write(t, filepath.Join(dir, fmt.Sprintf("f%03d.xml", i)), satisfiedDoc)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	emitted := 0
+	_, err := corpus.Check(ctx, testCheckers(t), dir, corpus.Options{Workers: 2},
+		func(corpus.Verdict) {
+			emitted++
+			if emitted == 3 {
+				cancel()
+			}
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if emitted >= 64 {
+		t.Fatal("cancellation must stop the sweep early")
+	}
+}
+
+// TestOptionsExts checks the extension filter, including the
+// case-insensitive match and custom extension lists.
+func TestOptionsExts(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "a.xml"), satisfiedDoc)
+	write(t, filepath.Join(dir, "b.XML"), satisfiedDoc)
+	write(t, filepath.Join(dir, "c.svg"), satisfiedDoc)
+	write(t, filepath.Join(dir, "d.txt"), "nope")
+
+	items, err := corpus.Walk(dir, corpus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := names(items); !equal(got, []string{"a.xml", "b.XML"}) {
+		t.Fatalf("default walk got %v, want [a.xml b.XML]", got)
+	}
+	items, err = corpus.Walk(dir, corpus.Options{Exts: []string{".svg", ".xml"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := names(items); !equal(got, []string{"a.xml", "b.XML", "c.svg"}) {
+		t.Fatalf("custom walk got %v, want [a.xml b.XML c.svg]", got)
+	}
+	if _, err := corpus.Walk(filepath.Join(dir, "missing"), corpus.Options{}); err != nil {
+		t.Fatalf("a missing root is an entry error, not a walk error: %v", err)
+	}
+}
+
+func names(items []corpus.Verdict) []string {
+	out := make([]string, len(items))
+	for i, v := range items {
+		out[i] = filepath.Base(v.Path)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -15,6 +15,12 @@
 // Both layers preserve answers exactly: a cached or parallel run
 // returns the same Implied bit, and counterexamples are cloned on every
 // cache hit so callers can never observe shared mutable state.
+//
+// The package also hosts the process-global Registry sharing one
+// engine and one compiled xfd.CheckerSet per canonicalized spec —
+// what lets xnf serve and xnf check -r compile a schema once across
+// any number of documents. ARCHITECTURE.md (layer 4) at the repo root
+// places this in the larger picture.
 package engine
 
 import (

@@ -50,6 +50,9 @@
 // Report call puts the Session in sticky reporting mode, and until
 // then commits skip the witness pass entirely, so verdict-only
 // workloads re-validate at pure delta cost.
+//
+// This is layer 5 of the checking spine — ARCHITECTURE.md at the repo
+// root — hosted by xnf watch (as a REPL) and xnf serve (over HTTP).
 package incremental
 
 import (

@@ -11,6 +11,10 @@
 // mutated by the XNF transforms (AddAttr/RemoveAttr), so a Universe is
 // built explicitly at each finalize point (engine construction, CLI
 // commands, tests) rather than memoized on the DTD.
+//
+// This is layer 1 of the checking spine (ARCHITECTURE.md at the repo
+// root walks the layers); everything from tuple extraction up keys
+// its work by this package's IDs and Sets.
 package paths
 
 import (

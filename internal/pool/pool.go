@@ -8,9 +8,16 @@ package pool
 
 import (
 	"context"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// DefaultWorkers is the worker count a zero configuration resolves to:
+// GOMAXPROCS, the same default the implication engine uses. Shared
+// here so the fan-out layers above (sharded checking, corpus sweeps)
+// agree on what "0 workers" means without importing each other.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // ForEach runs fn(i) for every i in [0, n) on up to workers goroutines
 // (errgroup-style) and returns the first error. Indices are handed out

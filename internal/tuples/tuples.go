@@ -11,6 +11,12 @@
 // single path; ⊥ propagates downward; finitely many non-null values)
 // hold by construction for every tuple produced here and are checkable
 // with Validate.
+//
+// Four producers enumerate the same tuples in the same order — the
+// materialized TuplesOf, the backtracking Stream, the edit-scoped
+// StreamPinned and the parse-fused TokenStream — and the seeded
+// differential suites hold them identical; see ARCHITECTURE.md
+// (layer 2) at the repo root for how the layers above consume them.
 package tuples
 
 import (

@@ -1,0 +1,372 @@
+package xfd
+
+// Fragment-local checking: the per-FD multiset fold state as a
+// first-class, mergeable, serializable value. A CheckerSet decides
+// T ⊨ Σ by folding each cluster's projection stream into per-FD
+// LHS-keyed group maps; everything that fold ever inspects about a
+// group is (a) whether two members disagree on the RHS and (b) one
+// representative per group — and RHS agreement is an equivalence
+// relation (AppendFoldKeys encodes its classes as byte keys). The fold
+// therefore factors over any partition of the projection stream: fold
+// each part into its own FoldState, then Merge the states — a group
+// violates iff some pair of per-part representatives of one LHS key
+// disagrees, exactly what the sharded verdict pass (shardVerdict)
+// exploits and what the PR-4 differential suites pinned bit-identical.
+//
+// SplitFragments produces such a partition structurally: it splits the
+// document at ONE top-level sibling group (a relevant root-child
+// label), giving each fragment a contiguous run of that group's
+// children plus every child of every other label. For clusters whose
+// projection chooses in that group, the fragment streams partition the
+// full stream as a multiset (tuples.StreamPinned's factorization);
+// for clusters that ignore the group, every fragment replays the full
+// stream — k identical folds, which neither create nor destroy
+// conflicts and merge idempotently. Either way the merged verdict is
+// the whole-document verdict, so a document distributed as fragments
+// (Abiteboul–Gottlob–Manna, Distributed XML Design) checks as
+// independently computed states combined associatively — the substrate
+// for multi-node scale-out.
+//
+// Portability caveat: fold keys embed vertex IDs for element-valued
+// paths, and vertex IDs are minted per process run. States marshaled
+// with MarshalBinary merge soundly across processes only when every FD
+// side mentions string-valued (attribute or text) paths, or when the
+// fragments were projected from one shared materialized tree (as
+// SplitFragments' shallow-copy fragments are). The in-process path has
+// no such restriction.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"xmlnorm/internal/tuples"
+	"xmlnorm/internal/xmltree"
+)
+
+// foldStateMagic versions the FoldState wire encoding.
+const foldStateMagic = "xnfFS1\x00"
+
+// FoldState is the outcome of folding some sub-multiset of a
+// document's projected tuples under one compiled CheckerSet: per FD, a
+// violated flag plus one RHS-class representative per LHS group. It is
+// the value a fragment-local checker computes and ships; states over
+// the same CheckerSet merge associatively and commutatively with
+// Merge, and serialize with MarshalBinary. The zero value is not
+// usable; start from CheckerSet.NewFoldState or
+// CheckerSet.UnmarshalFoldState.
+type FoldState struct {
+	cs  *CheckerSet
+	fds []fdFold
+}
+
+// fdFold is one FD's share of the state. groups maps the fold's LHS
+// key to the RHS-class key of the group's representative; once
+// violated is set the groups map is irrelevant (violation is absorbing
+// under Merge) and may be dropped.
+type fdFold struct {
+	groups   map[string]string
+	violated bool
+}
+
+// NewFoldState returns an empty fold state for the set: the state of
+// zero tuples, the identity of Merge.
+func (cs *CheckerSet) NewFoldState() *FoldState {
+	st := &FoldState{cs: cs, fds: make([]fdFold, len(cs.fds))}
+	for i := range st.fds {
+		st.fds[i].groups = make(map[string]string)
+	}
+	return st
+}
+
+// Fold folds one fragment document into the state: every cluster whose
+// root label matches streams its projection once, and each tuple's
+// (LHS key, RHS class) lands in the group maps of the cluster's FDs —
+// the exact keys CheckerSet.AppendFoldKeys defines, so a state folded
+// from the whole document decides each FD exactly like
+// CheckerSet.Check. Folding several fragments into one state is
+// equivalent to folding each into its own state and merging. A cluster
+// walk short-circuits once all its FDs are violated (violation is
+// absorbing).
+func (st *FoldState) Fold(t *xmltree.Tree) {
+	cs := st.cs
+	for ci := range cs.clusters {
+		cl := &cs.clusters[ci]
+		if cl.label != t.Root.Label {
+			continue
+		}
+		remaining := 0
+		for _, fi := range cl.fds {
+			if !st.fds[fi].violated {
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			continue
+		}
+		var lhsBuf, rhsBuf []byte
+		cl.pr.Stream(t, func(tup tuples.Tuple) bool {
+			for _, fi := range cl.fds {
+				f := &st.fds[fi]
+				if f.violated {
+					continue
+				}
+				lhsK, rhsK, applies := cs.AppendFoldKeys(tup, fi, lhsBuf[:0], rhsBuf[:0])
+				lhsBuf, rhsBuf = lhsK, rhsK
+				if !applies {
+					continue
+				}
+				rep, seen := f.groups[string(lhsK)]
+				if !seen {
+					f.groups[string(lhsK)] = string(rhsK)
+					continue
+				}
+				if rep == string(rhsK) {
+					continue
+				}
+				f.violated = true
+				f.groups = nil
+				remaining--
+			}
+			return remaining > 0
+		})
+	}
+}
+
+// Merge folds another state into this one. Merge is associative and
+// commutative on verdicts: a violated flag absorbs, and an LHS group
+// becomes violated as soon as two representatives with distinct RHS
+// classes meet — since within a conflict-free part every member of a
+// group RHS-agrees with its representative and RHS agreement is
+// transitive, the merged verdict per FD is exactly the verdict of
+// folding the union multiset. Both states must come from the same
+// CheckerSet (or its UnmarshalFoldState); other is not mutated and
+// remains usable.
+func (st *FoldState) Merge(other *FoldState) error {
+	if other.cs != st.cs || len(other.fds) != len(st.fds) {
+		return fmt.Errorf("xfd: merging fold states of different checker sets")
+	}
+	for fi := range st.fds {
+		dst, src := &st.fds[fi], &other.fds[fi]
+		if dst.violated {
+			continue
+		}
+		if src.violated {
+			dst.violated, dst.groups = true, nil
+			continue
+		}
+		for lhsK, rhsK := range src.groups {
+			rep, seen := dst.groups[lhsK]
+			if !seen {
+				dst.groups[lhsK] = rhsK
+				continue
+			}
+			if rep != rhsK {
+				dst.violated, dst.groups = true, nil
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// Violated returns the indices (Σ order) of the FDs the folded
+// multiset violates. On a state folded from a whole document — or
+// merged from fragments of one — this is exactly the violated set of
+// CheckerSet.Violations; pass it to WitnessReport to re-derive the
+// canonical witness report.
+func (st *FoldState) Violated() []int {
+	var out []int
+	for fi := range st.fds {
+		if st.fds[fi].violated {
+			out = append(out, fi)
+		}
+	}
+	return out
+}
+
+// ViolatedSet returns the violated FD indices as the set WitnessReport
+// consumes; nil when the folded multiset satisfies Σ.
+func (st *FoldState) ViolatedSet() map[int]bool {
+	var out map[int]bool
+	for fi := range st.fds {
+		if st.fds[fi].violated {
+			if out == nil {
+				out = make(map[int]bool)
+			}
+			out[fi] = true
+		}
+	}
+	return out
+}
+
+// Satisfied reports whether the folded multiset violates no FD.
+func (st *FoldState) Satisfied() bool {
+	for fi := range st.fds {
+		if st.fds[fi].violated {
+			return false
+		}
+	}
+	return true
+}
+
+// MarshalBinary serializes the state: a magic header, the FD count,
+// then per FD the violated flag and the (LHS key, RHS class) pairs.
+// Group iteration order is unspecified, so two encodings of one state
+// may differ as bytes while unmarshaling to equivalent states. See the
+// package comment on fragment.go for when cross-process merging of
+// marshaled states is sound.
+func (st *FoldState) MarshalBinary() ([]byte, error) {
+	out := []byte(foldStateMagic)
+	out = binary.AppendUvarint(out, uint64(len(st.fds)))
+	for fi := range st.fds {
+		f := &st.fds[fi]
+		if f.violated {
+			out = append(out, 1)
+			continue
+		}
+		out = append(out, 0)
+		out = binary.AppendUvarint(out, uint64(len(f.groups)))
+		for lhsK, rhsK := range f.groups {
+			out = binary.AppendUvarint(out, uint64(len(lhsK)))
+			out = append(out, lhsK...)
+			out = binary.AppendUvarint(out, uint64(len(rhsK)))
+			out = append(out, rhsK...)
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalFoldState decodes a state MarshalBinary produced, bound to
+// this CheckerSet. The encoding carries the FD count as a cheap guard;
+// it is the caller's contract that the bytes were marshaled under an
+// identically compiled set (same Σ in the same order).
+func (cs *CheckerSet) UnmarshalFoldState(data []byte) (*FoldState, error) {
+	if len(data) < len(foldStateMagic) || string(data[:len(foldStateMagic)]) != foldStateMagic {
+		return nil, fmt.Errorf("xfd: fold state: bad magic")
+	}
+	data = data[len(foldStateMagic):]
+	n, k := binary.Uvarint(data)
+	if k <= 0 || n != uint64(len(cs.fds)) {
+		return nil, fmt.Errorf("xfd: fold state: encoded for %d FDs, checker set has %d", n, len(cs.fds))
+	}
+	data = data[k:]
+	readUvarint := func() (uint64, error) {
+		v, k := binary.Uvarint(data)
+		if k <= 0 {
+			return 0, fmt.Errorf("xfd: fold state: truncated")
+		}
+		data = data[k:]
+		return v, nil
+	}
+	readBytes := func() (string, error) {
+		l, err := readUvarint()
+		if err != nil {
+			return "", err
+		}
+		if uint64(len(data)) < l {
+			return "", fmt.Errorf("xfd: fold state: truncated")
+		}
+		s := string(data[:l])
+		data = data[l:]
+		return s, nil
+	}
+	st := &FoldState{cs: cs, fds: make([]fdFold, len(cs.fds))}
+	for fi := range st.fds {
+		if len(data) == 0 {
+			return nil, fmt.Errorf("xfd: fold state: truncated")
+		}
+		violated := data[0] != 0
+		data = data[1:]
+		if violated {
+			st.fds[fi].violated = true
+			continue
+		}
+		groups, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		st.fds[fi].groups = make(map[string]string, groups)
+		for g := uint64(0); g < groups; g++ {
+			lhsK, err := readBytes()
+			if err != nil {
+				return nil, err
+			}
+			rhsK, err := readBytes()
+			if err != nil {
+				return nil, err
+			}
+			st.fds[fi].groups[lhsK] = rhsK
+		}
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("xfd: fold state: %d trailing bytes", len(data))
+	}
+	return st, nil
+}
+
+// SplitFragments splits the document at one top-level sibling group
+// into at most k independently checkable fragments: it picks the
+// relevant root-child label (a label some applicable cluster's
+// projection chooses in) with the most children and deals that group's
+// children into contiguous runs, one per fragment; every child of
+// every other label — and the root itself, shared shallow copies with
+// the original's ID, attributes and text — rides along in each
+// fragment, so no fragment fabricates an empty relevant group (an
+// empty group would project spurious ⊥ choices the whole document
+// never makes). Folding each fragment into a FoldState and merging
+// yields the whole document's verdict; see the fragment.go package
+// comment for why. When nothing is splittable (k < 2, no applicable
+// cluster, or no relevant group with two children) the document is
+// returned as the single fragment. Fragments share the original's
+// nodes: safe to fold concurrently, not to mutate.
+func (cs *CheckerSet) SplitFragments(t *xmltree.Tree, k int) []*xmltree.Tree {
+	label := ""
+	if k >= 2 {
+		counts := make(map[string]int, 8)
+		for _, c := range t.Root.Children {
+			counts[c.Label]++
+		}
+		bestN := 1
+		for ci := range cs.clusters {
+			cl := &cs.clusters[ci]
+			if cl.label != t.Root.Label {
+				continue
+			}
+			for _, l := range cl.pr.RootChoiceLabels() {
+				if n := counts[l]; n > bestN {
+					label, bestN = l, n
+				}
+			}
+		}
+	}
+	if label == "" {
+		return []*xmltree.Tree{t}
+	}
+	var mine, others []*xmltree.Node
+	for _, c := range t.Root.Children {
+		if c.Label == label {
+			mine = append(mine, c)
+		} else {
+			others = append(others, c)
+		}
+	}
+	if k > len(mine) {
+		k = len(mine)
+	}
+	frags := make([]*xmltree.Tree, 0, k)
+	for f := 0; f < k; f++ {
+		// Contiguous runs covering mine exactly once.
+		lo, hi := f*len(mine)/k, (f+1)*len(mine)/k
+		root := &xmltree.Node{
+			ID:      t.Root.ID,
+			Label:   t.Root.Label,
+			Attrs:   t.Root.Attrs,
+			Text:    t.Root.Text,
+			HasText: t.Root.HasText,
+		}
+		root.Children = make([]*xmltree.Node, 0, hi-lo+len(others))
+		root.Children = append(append(root.Children, mine[lo:hi]...), others...)
+		frags = append(frags, &xmltree.Tree{Root: root})
+	}
+	return frags
+}

@@ -1,0 +1,272 @@
+package xfd_test
+
+// Differential suite for fragment-local checking: folding the
+// fragments of SplitFragments into FoldStates and merging them — in
+// any association order, with a serialization round trip in the middle
+// — must reproduce the whole-document verdict FD for FD, and the
+// witness report re-derived from the merged verdict must be
+// bit-identical to CheckerSet.Violations. Run under -race in CI:
+// fragments share the original tree's nodes, so the parallel fold is
+// also a concurrency test.
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/gen"
+	"xmlnorm/internal/paths"
+	"xmlnorm/internal/pool"
+	"xmlnorm/internal/tuples"
+	"xmlnorm/internal/xfd"
+	"xmlnorm/internal/xmltree"
+)
+
+// violatedIndices extracts the Σ indices of a Violations report.
+func violatedIndices(cs *xfd.CheckerSet, report []xfd.Violated) []int {
+	var out []int
+	for i := 0; i < cs.Len(); i++ {
+		for _, v := range report {
+			if v.FD.Equal(cs.FDAt(i)) {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeAll merges the states pairwise in a random association order
+// (a binary tree shaped by rng), exercising associativity and
+// commutativity beyond the plain left fold.
+func mergeAll(t *testing.T, states []*xfd.FoldState, rng *rand.Rand) *xfd.FoldState {
+	t.Helper()
+	for len(states) > 1 {
+		i := rng.Intn(len(states) - 1)
+		if err := states[i].Merge(states[i+1]); err != nil {
+			t.Fatalf("Merge: %v", err)
+		}
+		states = append(states[:i+1], states[i+2:]...)
+	}
+	return states[0]
+}
+
+// TestFoldStateDifferential runs ≥1000 random (DTD, document, σ)
+// instances and checks, per instance and for several fragment counts:
+//
+//   - a FoldState folded from the whole document reports exactly the
+//     violated indices of CheckerSet.Violations;
+//   - folding each SplitFragments fragment independently (in parallel,
+//     over the worker pool) and merging — left fold and random
+//     association order — reproduces that verdict;
+//   - a MarshalBinary/UnmarshalFoldState round trip of every fragment
+//     state before merging changes nothing;
+//   - WitnessReport over the merged verdict is bit-identical to the
+//     sequential Violations report.
+func TestFoldStateDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20020808))
+	instances := 0
+	for instances < 1000 {
+		d := gen.RandomSimpleDTD(rng)
+		doc, err := gen.Document(d, rng, 2, 3)
+		if err != nil {
+			t.Fatalf("gen.Document: %v", err)
+		}
+		if tuples.CountTuples(doc, 0) > 2000 {
+			continue
+		}
+		instances++
+		u, err := paths.New(d)
+		if err != nil {
+			t.Fatalf("paths.New: %v", err)
+		}
+		all, err := d.Paths()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigma := make([]xfd.FD, 3)
+		for k := range sigma {
+			var f xfd.FD
+			for j := 0; j < 1+rng.Intn(2); j++ {
+				f.LHS = append(f.LHS, all[rng.Intn(len(all))])
+			}
+			f.RHS = []dtd.Path{all[rng.Intn(len(all))]}
+			sigma[k] = f
+		}
+		cs, err := xfd.NewCheckerSet(u, sigma)
+		if err != nil {
+			t.Fatalf("NewCheckerSet: %v", err)
+		}
+		seq := cs.Violations(doc)
+		want := violatedIndices(cs, seq)
+
+		whole := cs.NewFoldState()
+		whole.Fold(doc)
+		if got := whole.Violated(); !sameInts(got, want) {
+			t.Fatalf("instance %d: whole-document fold violated %v, Violations %v\nDTD:\n%s\ndoc:\n%s",
+				instances, got, want, d, doc)
+		}
+
+		for _, k := range []int{1, 2, 3, 7} {
+			frags := cs.SplitFragments(doc, k)
+			states := make([]*xfd.FoldState, len(frags))
+			if err := pool.ForEach(4, len(frags), func(i int) error {
+				states[i] = cs.NewFoldState()
+				states[i].Fold(frags[i])
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			// Serialization round trip for every fragment state.
+			for i, st := range states {
+				data, err := st.MarshalBinary()
+				if err != nil {
+					t.Fatalf("MarshalBinary: %v", err)
+				}
+				if states[i], err = cs.UnmarshalFoldState(data); err != nil {
+					t.Fatalf("UnmarshalFoldState: %v", err)
+				}
+			}
+			merged := mergeAll(t, states, rng)
+			if got := merged.Violated(); !sameInts(got, want) {
+				t.Fatalf("instance %d: %d fragments merged violated %v, want %v\nDTD:\n%s\ndoc:\n%s",
+					instances, len(frags), got, want, d, doc)
+			}
+			if got := merged.Satisfied(); got != (len(want) == 0) {
+				t.Fatalf("instance %d: merged Satisfied = %v, want %v", instances, got, len(want) == 0)
+			}
+			sameReports(t, seq, cs.WitnessReport(doc, merged.ViolatedSet()), "fragment-merged report")
+		}
+	}
+}
+
+// TestSplitFragmentsPartition pins the structural contract: the chosen
+// sibling group's children are dealt to the fragments exactly once in
+// document order, every other child rides along in each fragment, and
+// all fragment roots share the original root's vertex ID.
+func TestSplitFragmentsPartition(t *testing.T) {
+	doc, err := xmltree.ParseString(
+		"<r><c k=\"1\"/><c k=\"2\"/><c k=\"3\"/><c k=\"4\"/><c k=\"5\"/><o/><o/></r>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := []xfd.FD{xfd.New([]string{"r.c.@k"}, []string{"r.c"})}
+	cs, err := xfd.NewCheckerSetFor(sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags := cs.SplitFragments(doc, 3)
+	if len(frags) != 3 {
+		t.Fatalf("got %d fragments, want 3", len(frags))
+	}
+	var seen []string
+	for _, f := range frags {
+		if f.Root.ID != doc.Root.ID {
+			t.Fatalf("fragment root ID %d, want the original %d", f.Root.ID, doc.Root.ID)
+		}
+		others := 0
+		for _, c := range f.Root.Children {
+			switch c.Label {
+			case "c":
+				seen = append(seen, c.Attrs["k"])
+			case "o":
+				others++
+			}
+		}
+		if others != 2 {
+			t.Fatalf("fragment carries %d 'o' children, want all 2", others)
+		}
+	}
+	if got := strings.Join(seen, ""); got != "12345" {
+		t.Fatalf("fragments cover the c group as %q, want \"12345\"", got)
+	}
+
+	// More fragments than children caps at one child per fragment.
+	if got := len(cs.SplitFragments(doc, 99)); got != 5 {
+		t.Fatalf("k=99 gives %d fragments, want 5", got)
+	}
+	// k < 2 and documents with nothing splittable return the document.
+	if got := cs.SplitFragments(doc, 1); len(got) != 1 || got[0] != doc {
+		t.Fatalf("k=1 must return the document itself")
+	}
+	single, err := xmltree.ParseString("<r><c k=\"1\"/></r>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cs.SplitFragments(single, 4); len(got) != 1 || got[0] != single {
+		t.Fatalf("a one-child group must not split")
+	}
+	foreign, err := xmltree.ParseString("<z><c/><c/></z>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cs.SplitFragments(foreign, 4); len(got) != 1 || got[0] != foreign {
+		t.Fatalf("a foreign root label must not split")
+	}
+}
+
+// TestFoldStateErrors pins the failure contracts: merging states of
+// different checker sets fails, and corrupt or mismatched encodings
+// are rejected with errors rather than silently misfolding.
+func TestFoldStateErrors(t *testing.T) {
+	csA, err := xfd.NewCheckerSetFor([]xfd.FD{xfd.New([]string{"r.c.@k"}, []string{"r.c"})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csB, err := xfd.NewCheckerSetFor([]xfd.FD{
+		xfd.New([]string{"r.c.@k"}, []string{"r.c"}),
+		xfd.New([]string{"r.c"}, []string{"r.c.@k"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := csA.NewFoldState().Merge(csB.NewFoldState()); err == nil {
+		t.Fatal("merging states of different checker sets must fail")
+	}
+	data, err := csB.NewFoldState().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := csA.UnmarshalFoldState(data); err == nil {
+		t.Fatal("unmarshaling a two-FD state into a one-FD set must fail")
+	}
+	if _, err := csA.UnmarshalFoldState([]byte("bogus")); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+	if _, err := csA.UnmarshalFoldState(data[:len(data)-1]); err == nil {
+		t.Fatal("truncated input must fail")
+	}
+	doc, err := xmltree.ParseString("<r><c k=\"1\"/><c k=\"2\"/></r>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := csA.NewFoldState()
+	st.Fold(doc)
+	good, err := st.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := csA.UnmarshalFoldState(append(good, 0)); err == nil {
+		t.Fatal("trailing bytes must fail")
+	}
+	back, err := csA.UnmarshalFoldState(good)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if !back.Satisfied() {
+		t.Fatal("round-tripped satisfied state must stay satisfied")
+	}
+}

@@ -4,6 +4,13 @@
 // Atzeni–Morfuni null semantics — a tree T satisfies S1 → S2 if any two
 // maximal tuples that agree on S1 with non-null values also agree on S2
 // (where ⊥ = ⊥ counts as agreement on the right-hand side).
+//
+// Checking an entire Σ is one clustered fold (CheckerSet) with several
+// frontends — whole tree (Violations), sharded tree
+// (ViolationsSharded), io.Reader stream (CheckReader), and mergeable
+// per-fragment fold states (FoldState) — all pinned bit-identical to
+// each other by differential suites; ARCHITECTURE.md (layers 3 and 3b)
+// at the repo root maps them out.
 package xfd
 
 import (
