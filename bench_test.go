@@ -425,3 +425,20 @@ func BenchmarkE22_CorpusChecking(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE23_DistributedFold: the E22 1000-document family checked
+// through four real `xnf serve` worker processes — coordinator fold
+// shipping vs spawning a process per file, the kill-one-worker
+// degradation rerun, and the CLI -workers byte-identity cases. CI runs
+// this once and archives the cmd/experiments JSON of the same sweep as
+// the BENCH_dist.json artifact. The ≥2x amortization gate, the verdict
+// agreement, degradation and byte-identity gates are checked by the
+// `cmd/experiments E23` CI step; here only hard errors fail, so timing
+// noise can't flake the bench job.
+func BenchmarkE23_DistributedFold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E23DistributedFold(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

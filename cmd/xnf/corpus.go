@@ -24,10 +24,20 @@ import (
 // corpusCheck runs the -r sweep over dir and renders the NDJSON
 // verdict stream. The sweep runs under a signal context, so Ctrl-C
 // stops handing out files promptly instead of finishing the walk.
-func corpusCheck(s xmlnorm.Spec, dir string, witness bool, maxDepth int) error {
+// With workers, each file's fold ships to a remote worker instead of
+// running here (distrib coordinator, transparent local fallback) —
+// same walker, same sequencing, byte-identical verdicts.
+func corpusCheck(s xmlnorm.Spec, dir string, witness bool, maxDepth int, workers []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	opts := xmlnorm.CorpusOptions{Workers: engOpts.WorkerCount(), MaxDepth: maxDepth}
+	if len(workers) > 0 {
+		coord, err := newCoordinator(s, workers, maxDepth)
+		if err != nil {
+			return err
+		}
+		opts.CheckFile = coord.CheckFileOption(ctx)
+	}
 	var emitErr error
 	sum, err := xmlnorm.CheckCorpus(ctx, s.FDs, dir, opts, func(v xmlnorm.CorpusVerdict) {
 		if emitErr != nil {

@@ -1,0 +1,61 @@
+package main
+
+// The -workers mode of "xnf check": fold work ships to a set of
+// `xnf serve` worker processes (their POST /fold endpoint) through the
+// internal/distrib coordinator, and the merged states decide the
+// verdict locally. Both check shapes compose:
+//
+//	xnf check -workers h1,h2 <spec> <doc.xml>    split the document,
+//	    fold its fragments remotely, merge (-fragments K sets the
+//	    split width; default two fragments per worker)
+//	xnf check -workers h1,h2 -r <spec> <dir>     fan the corpus files
+//	    over the workers, one whole-document fold each
+//
+// Workers must be started with the SAME spec file ("xnf serve
+// <spec>"); the coordinator's spec hash makes a mismatch a hard 409
+// rather than a wrong answer. Output — stdout and stderr, text, -json
+// and -witness alike — is byte-identical to the undistributed check:
+// witnesses are always re-derived locally, and a dead or lagging
+// worker degrades into local folding without changing any verdict.
+
+import (
+	"context"
+	"fmt"
+
+	"xmlnorm"
+	"xmlnorm/internal/distrib"
+	"xmlnorm/internal/engine"
+)
+
+// newCoordinator compiles the spec's checker set (through the
+// process-global registry, like every other mode) and points a
+// coordinator at the worker addresses.
+func newCoordinator(s xmlnorm.Spec, workers []string, maxDepth int) (*distrib.Coordinator, error) {
+	cs, err := engine.SharedCheckers(s.FDs)
+	if err != nil {
+		return nil, err
+	}
+	return distrib.New(cs, distrib.SpecHash(s.DTD, s.FDs), workers, distrib.Options{MaxDepth: maxDepth})
+}
+
+// distributedCheckDocument is checkDocument with the fragment folds
+// shipped to the workers: split, fold remotely (local fallback), merge,
+// re-derive witnesses locally, render identically.
+func distributedCheckDocument(s xmlnorm.Spec, docPath string, out checkOutput, workers []string, k, maxDepth int) error {
+	doc, err := loadDoc(docPath)
+	if err != nil {
+		return err
+	}
+	if err := xmlnorm.ConformsUnordered(doc, s.DTD); err != nil {
+		return fmt.Errorf("document does not conform to the spec: %v", err)
+	}
+	coord, err := newCoordinator(s, workers, maxDepth)
+	if err != nil {
+		return err
+	}
+	violated, err := coord.CheckDocument(context.Background(), doc, k)
+	if err != nil {
+		return err
+	}
+	return printCheckVerdict(violated, len(s.FDs), out)
+}

@@ -11,6 +11,7 @@
 //	xnf check -stream <spec> <doc>   check straight off the bytes, constant memory
 //	xnf check -r <spec> <dir>        check every .xml under dir, NDJSON verdicts
 //	xnf check -fragments K ...       check via K merged fragment folds
+//	xnf check -workers H1,H2 ...     ship fold work to xnf serve workers (see distrib.go)
 //	xnf normalize <spec>             print the normalized specification
 //	xnf implies <spec> "<fd>"        decide (D, Σ) ⊢ fd
 //	xnf classify <spec>              DTD taxonomy (simple/disjunctive/N_D/...)
@@ -184,17 +185,32 @@ func cmdCheck(args []string) error {
 	jsonOut := fs.Bool("json", false, "emit the document verdict as one JSON object (the xnf serve wire format)")
 	recurse := fs.Bool("r", false, "treat the second argument as a directory: check every matching file under it, one NDJSON verdict per file")
 	fragments := fs.Int("fragments", 0, "check the document as K independently folded fragments merged into one verdict (0 = whole-document check)")
+	workersFlag := fs.String("workers", "", "comma-separated `xnf serve` worker addresses: ship fold work to them, with transparent local fallback (output stays byte-identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var workers []string
+	for _, w := range strings.Split(*workersFlag, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			workers = append(workers, w)
+		}
+	}
 	if fs.NArg() != 1 && fs.NArg() != 2 {
-		return fmt.Errorf("usage: xnf check [-witness] [-stream] [-r] [-fragments K] [-maxdepth N] [-json] <spec> [doc.xml|dir]")
+		return fmt.Errorf("usage: xnf check [-witness] [-stream] [-r] [-fragments K] [-workers H1,H2] [-maxdepth N] [-json] <spec> [doc.xml|dir]")
 	}
 	if *jsonOut && fs.NArg() != 2 {
 		return fmt.Errorf("check -json reports document verdicts; pass a document")
 	}
 	if *fragments > 0 && fs.NArg() != 2 && !*recurse {
 		return fmt.Errorf("check -fragments checks documents; pass one")
+	}
+	if len(workers) > 0 {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("check -workers distributes document checks; pass a document or (with -r) a directory")
+		}
+		if *stream {
+			return fmt.Errorf("check -workers ships fold work remotely; drop -stream")
+		}
 	}
 	s, err := loadSpec(fs.Arg(0))
 	if err != nil {
@@ -207,10 +223,15 @@ func cmdCheck(args []string) error {
 		if *fragments > 0 {
 			return fmt.Errorf("check -r and -fragments are mutually exclusive")
 		}
-		return corpusCheck(s, fs.Arg(1), *witness, *maxDepth)
+		return corpusCheck(s, fs.Arg(1), *witness, *maxDepth, workers)
 	}
 	if fs.NArg() == 2 {
 		opts := checkOutput{witness: *witness, json: *jsonOut, doc: fs.Arg(1)}
+		if len(workers) > 0 {
+			// -fragments K keeps its meaning: the split width. Without
+			// it the coordinator defaults to two fragments per worker.
+			return distributedCheckDocument(s, fs.Arg(1), opts, workers, *fragments, *maxDepth)
+		}
 		if *fragments > 0 {
 			if *stream {
 				return fmt.Errorf("check -fragments needs the materialized tree; drop -stream")

@@ -11,6 +11,15 @@
 //	GET    /docs/{name}/report   read the current verdict (never blocks)
 //	DELETE /docs/{name}          drop the document
 //	GET    /docs                 list hosted documents
+//	POST   /fold                 fold the body as one fragment (worker mode)
+//
+// /fold is the worker side of distributed checking (internal/distrib):
+// a coordinator running `xnf check -workers ...` with the SAME spec
+// ships fragment bytes here and gets the marshaled xfd.FoldState back.
+// The checker set is compiled once per process — workers compile once
+// and fold many. Request bodies are bounded (413 past 64 MB), and the
+// listener carries read-header and idle timeouts so stalled or idle
+// connections cannot pin the process.
 //
 // Report reads are snapshot reads: they return the last committed
 // epoch without blocking on in-flight transactions, so a slow writer
@@ -48,7 +57,14 @@ import (
 	"time"
 
 	"xmlnorm"
+	"xmlnorm/internal/distrib"
+	"xmlnorm/internal/engine"
 )
+
+// maxBodyBytes bounds every document-carrying request body (PUT /docs
+// and POST /fold alike): past it the server answers 413, not OOM. A
+// variable only so tests can exercise the bound without 64 MB bodies.
+var maxBodyBytes int64 = 64 << 20
 
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
@@ -72,7 +88,10 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv := newServer(spec)
+	srv, err := newServer(spec)
+	if err != nil {
+		return err
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -89,12 +108,7 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{
-		Handler: srv.handler(),
-		// Request contexts descend from the serve context, so shutdown
-		// cancels in-flight sharded folds along with everything else.
-		BaseContext: func(net.Listener) context.Context { return ctx },
-	}
+	hs := newHTTPServer(ctx, srv.handler())
 	fmt.Fprintf(os.Stderr, "xnf serve: listening on http://%s\n", ln.Addr())
 	done := make(chan error, 1)
 	go func() { done <- hs.Serve(ln) }()
@@ -108,6 +122,21 @@ func cmdServe(args []string) error {
 	return hs.Shutdown(shutCtx)
 }
 
+// newHTTPServer wraps the handler in the hardened listener
+// configuration: a client that dribbles its headers or parks an idle
+// keep-alive connection must not hold a goroutine (or a file
+// descriptor) forever; bodies are under the handlers' own bounds.
+// Request contexts descend from ctx, so shutdown cancels in-flight
+// sharded folds along with everything else.
+func newHTTPServer(ctx context.Context, h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		BaseContext:       func(net.Listener) context.Context { return ctx },
+	}
+}
+
 // server hosts named documents under one specification. The map mutex
 // guards only name→document resolution; verdict reads go straight to
 // the session's lock-free snapshot, and each document serializes its
@@ -115,6 +144,7 @@ func cmdServe(args []string) error {
 // mutex so the hosted tree is stable whenever someone walks it.
 type server struct {
 	spec xmlnorm.Spec
+	fold http.Handler // the /fold worker endpoint (internal/distrib)
 	mu   sync.RWMutex
 	docs map[string]*hostedDoc
 }
@@ -132,8 +162,20 @@ type hostedDoc struct {
 // session returns the document's current session, lock-free.
 func (d *hostedDoc) session() *xmlnorm.Session { return d.sess.Load() }
 
-func newServer(spec xmlnorm.Spec) *server {
-	return &server{spec: spec, docs: map[string]*hostedDoc{}}
+func newServer(spec xmlnorm.Spec) (*server, error) {
+	// Compile the spec's checker set once, up front, through the
+	// process-global registry: every /fold request reuses it, so the
+	// worker's steady state is parse + fold only.
+	cs, err := engine.SharedCheckers(spec.FDs)
+	if err != nil {
+		return nil, err
+	}
+	hash := distrib.SpecHash(spec.DTD, spec.FDs)
+	return &server{
+		spec: spec,
+		fold: distrib.FoldHandler(cs, hash, maxBodyBytes),
+		docs: map[string]*hostedDoc{},
+	}, nil
 }
 
 func (s *server) handler() http.Handler {
@@ -143,6 +185,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("DELETE /docs/{name}", s.handleDelete)
 	mux.HandleFunc("GET /docs/{name}/report", s.handleReport)
 	mux.HandleFunc("POST /docs/{name}/txn", s.handleTxn)
+	mux.Handle("POST /fold", s.fold)
 	return mux
 }
 
@@ -277,8 +320,13 @@ func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handlePut(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	doc, err := xmlnorm.ParseDocumentReader(http.MaxBytesReader(w, r.Body, 64<<20))
+	body := distrib.NewLimitBody(w, r.Body, maxBodyBytes)
+	doc, err := xmlnorm.ParseDocumentReader(body)
 	if err != nil {
+		if body.TooLarge {
+			httpError(w, http.StatusRequestEntityTooLarge, "document over %d bytes", int64(maxBodyBytes))
+			return
+		}
 		httpError(w, http.StatusBadRequest, "parse: %v", err)
 		return
 	}

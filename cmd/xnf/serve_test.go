@@ -14,12 +14,26 @@ import (
 	"time"
 
 	"xmlnorm"
+	"xmlnorm/internal/distrib"
+	"xmlnorm/internal/engine"
+	"xmlnorm/internal/xfd"
+	"xmlnorm/internal/xmltree"
 )
 
 // serveSpec loads the courses spec for the serve tests.
 func serveSpec(t *testing.T) xmlnorm.Spec {
 	t.Helper()
 	s, err := loadSpec(td("courses.spec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// mustServer builds a server over the spec, failing the test on error.
+func mustServer(t *testing.T, spec xmlnorm.Spec) *server {
+	t.Helper()
+	s, err := newServer(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +73,7 @@ func doReq(t *testing.T, h http.Handler, method, url, body string, out any) *htt
 // document, commit a batched transaction over HTTP, read the verdict
 // delta, roll a failing batch back, and drop the document.
 func TestServeRoundTrip(t *testing.T) {
-	h := newServer(serveSpec(t)).handler()
+	h := mustServer(t, serveSpec(t)).handler()
 
 	// Load: 201, epoch 1, satisfied.
 	var v verdictJSON
@@ -159,7 +173,7 @@ func TestServeRoundTrip(t *testing.T) {
 // TestServeErrors covers the failure surfaces: malformed documents,
 // nonconforming documents, missing names, and malformed scripts.
 func TestServeErrors(t *testing.T) {
-	h := newServer(serveSpec(t)).handler()
+	h := mustServer(t, serveSpec(t)).handler()
 	var errBody map[string]string
 
 	if resp := doReq(t, h, "PUT", "/docs/bad", "<not xml", &errBody); resp.StatusCode != http.StatusBadRequest {
@@ -188,7 +202,7 @@ func TestServeErrors(t *testing.T) {
 // HTTP: while a transaction is open (the document's writer lock held),
 // report reads still answer — with the pre-transaction epoch.
 func TestServeSnapshotReadsDuringTxn(t *testing.T) {
-	srv := newServer(serveSpec(t))
+	srv := mustServer(t, serveSpec(t))
 	h := srv.handler()
 	doReq(t, h, "PUT", "/docs/fig1", coursesXML(t), nil)
 
@@ -284,11 +298,156 @@ func TestJSONFlag(t *testing.T) {
 	}
 }
 
+// rawReq runs one request against the handler and returns the raw
+// recorder — for endpoints whose success body is not JSON.
+func rawReq(h http.Handler, method, url, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(method, url, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestServeFold covers the worker endpoint: a fold request under the
+// right spec hash answers with FoldState bytes bit-identical to a
+// local fold of the same fragment (including a non-zero starting
+// ordinal), the violated state round-trips, a wrong hash is 409, and
+// malformed or over-deep bodies are 400.
+func TestServeFold(t *testing.T) {
+	spec := serveSpec(t)
+	h := mustServer(t, spec).handler()
+	hash := distrib.SpecHash(spec.DTD, spec.FDs)
+	cs, err := engine.SharedCheckers(spec.FDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localFold := func(body, label string, start int) []byte {
+		doc, err := xmltree.ParseString(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := cs.NewFoldState()
+		st.FoldFragment(xfd.Fragment{Tree: doc, Label: label, Start: start})
+		blob, err := st.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+
+	body := coursesXML(t)
+	rec := rawReq(h, "POST", "/fold?spec="+hash, body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("fold status = %d: %s", rec.Code, rec.Body)
+	}
+	st, err := cs.UnmarshalFoldState(rec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("fold response does not decode: %v", err)
+	}
+	if !st.Satisfied() {
+		t.Fatalf("courses.xml fold not satisfied: violated %v", st.Violated())
+	}
+	if got, want := rec.Body.String(), string(localFold(body, "", 0)); got != want {
+		t.Fatal("remote fold bytes differ from the local fold")
+	}
+
+	// A fragment with a split label and shifted starting ordinal folds
+	// exactly as the local FoldFragment would.
+	rec = rawReq(h, "POST", "/fold?spec="+hash+"&label=course&start=3", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("offset fold status = %d: %s", rec.Code, rec.Body)
+	}
+	if got, want := rec.Body.String(), string(localFold(body, "course", 3)); got != want {
+		t.Fatal("offset fold bytes differ from the local fold")
+	}
+
+	// A violating document's fold state carries the violation.
+	bad, err := os.ReadFile(filepath.Join("testdata", "courses_bad.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = rawReq(h, "POST", "/fold?spec="+hash, string(bad))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("bad-doc fold status = %d", rec.Code)
+	}
+	if st, err = cs.UnmarshalFoldState(rec.Body.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.ViolatedSet()) == 0 {
+		t.Fatal("courses_bad.xml fold reports no violation")
+	}
+
+	// Spec mismatch is a definitive 409, not a fold of the wrong Σ.
+	if rec = rawReq(h, "POST", "/fold?spec=deadbeef", body); rec.Code != http.StatusConflict {
+		t.Fatalf("wrong-hash status = %d", rec.Code)
+	}
+	// Malformed and over-deep bodies are the client's fault: 400.
+	if rec = rawReq(h, "POST", "/fold?spec="+hash, "<not xml"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed fold status = %d", rec.Code)
+	}
+	if rec = rawReq(h, "POST", "/fold?spec="+hash+"&depth=2", body); rec.Code != http.StatusBadRequest {
+		t.Fatalf("over-deep fold status = %d", rec.Code)
+	}
+	if rec = rawReq(h, "POST", "/fold?spec="+hash+"&start=x", body); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad start status = %d", rec.Code)
+	}
+}
+
+// TestServeBodyBounds pins the 413 surface: both document-carrying
+// endpoints bound their bodies and answer 413 — not 400, not OOM —
+// past the limit.
+func TestServeBodyBounds(t *testing.T) {
+	old := maxBodyBytes
+	maxBodyBytes = 4 << 10
+	defer func() { maxBodyBytes = old }()
+	spec := serveSpec(t)
+	h := mustServer(t, spec).handler()
+
+	big := "<courses>" +
+		strings.Repeat(`<course cno="c1"><title>t</title><taken_by></taken_by></course>`, 200) +
+		"</courses>"
+	if int64(len(big)) <= maxBodyBytes {
+		t.Fatalf("test body too small: %d bytes", len(big))
+	}
+	var errBody map[string]string
+	if resp := doReq(t, h, "PUT", "/docs/big", big, &errBody); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized PUT status = %d", resp.StatusCode)
+	}
+	hash := distrib.SpecHash(spec.DTD, spec.FDs)
+	if rec := rawReq(h, "POST", "/fold?spec="+hash, big); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized fold status = %d", rec.Code)
+	}
+	// Under the bound both still work.
+	small := coursesXML(t)
+	if int64(len(small)) > maxBodyBytes {
+		t.Fatalf("courses.xml unexpectedly over the test bound")
+	}
+	if resp := doReq(t, h, "PUT", "/docs/ok", small, nil); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("small PUT status = %d", resp.StatusCode)
+	}
+	if rec := rawReq(h, "POST", "/fold?spec="+hash, small); rec.Code != http.StatusOK {
+		t.Fatalf("small fold status = %d", rec.Code)
+	}
+}
+
+// TestServeTimeoutsConfigured pins the listener hardening: the server
+// cmdServe actually runs must carry a read-header timeout (a stalled
+// client cannot pin a goroutine during header read) and an idle
+// timeout (parked keep-alive connections are reclaimed).
+func TestServeTimeoutsConfigured(t *testing.T) {
+	hs := newHTTPServer(context.Background(), mustServer(t, serveSpec(t)).handler())
+	if hs.ReadHeaderTimeout <= 0 {
+		t.Fatal("serve listener has no ReadHeaderTimeout")
+	}
+	if hs.IdleTimeout <= 0 {
+		t.Fatal("serve listener has no IdleTimeout")
+	}
+}
+
 // TestServeFollow exercises the poll-based -follow mode: a change to
 // the on-disk file shows up as a new hosted session with the new
 // verdict, with no watch API involved.
 func TestServeFollow(t *testing.T) {
-	srv := newServer(serveSpec(t))
+	srv := mustServer(t, serveSpec(t))
 	path := filepath.Join(t.TempDir(), "doc.xml")
 	if err := os.WriteFile(path, []byte(coursesXML(t)), 0o644); err != nil {
 		t.Fatal(err)

@@ -69,7 +69,7 @@ func ViolationsFragmented(t *Tree, sigma []FD, k int) ([]Violated, error) {
 	states := make([]*xfd.FoldState, len(frags))
 	if err := pool.ForEach(k, len(frags), func(i int) error {
 		states[i] = cs.NewFoldState()
-		states[i].Fold(frags[i])
+		states[i].FoldFragment(frags[i])
 		return nil
 	}); err != nil {
 		return nil, err

@@ -1,13 +1,16 @@
 package xmlnorm
 
 // TestDocLinks is the docs-lint gate: every relative link target in
-// the top-level markdown documents must exist in the repository, so a
-// rename or a deleted experiment section can't silently orphan the
-// cross-references ARCHITECTURE.md is built on. External (scheme'd)
-// links and pure intra-document anchors are out of scope — the test
-// stays hermetic.
+// the top-level markdown documents must exist in the repository, and
+// an anchor into another markdown document must name one of its
+// headings — so a rename, a deleted experiment section or a retitled
+// heading can't silently orphan the cross-references ARCHITECTURE.md
+// is built on. External (scheme'd) links and pure intra-document
+// anchors are out of scope — the test stays hermetic.
 
 import (
+	"bufio"
+	"bytes"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -27,7 +30,44 @@ var docFiles = []string{
 // mdLink matches inline markdown links; the target is group 1.
 var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
 
+// headingSlug renders a heading line the way GitHub anchors it:
+// lowercased, punctuation dropped, spaces to hyphens.
+func headingSlug(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(heading)) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// headingAnchors collects the anchor slugs of every heading in a
+// markdown file.
+func headingAnchors(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	anchors := make(map[string]bool)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		anchors[headingSlug(strings.TrimLeft(line, "#"))] = true
+	}
+	return anchors
+}
+
 func TestDocLinks(t *testing.T) {
+	anchorsByFile := make(map[string]map[string]bool)
 	for _, doc := range docFiles {
 		data, err := os.ReadFile(doc)
 		if err != nil {
@@ -39,10 +79,10 @@ func TestDocLinks(t *testing.T) {
 			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
 				continue
 			}
-			// Strip an intra-document anchor; a bare "#anchor" needs no
-			// file check.
+			// Split off the anchor; a bare "#anchor" needs no file check.
+			anchor := ""
 			if i := strings.IndexByte(target, '#'); i >= 0 {
-				target = target[:i]
+				target, anchor = target[:i], target[i+1:]
 			}
 			if target == "" {
 				continue
@@ -54,6 +94,17 @@ func TestDocLinks(t *testing.T) {
 			}
 			if _, err := os.Stat(clean); err != nil {
 				t.Errorf("%s: link target %q does not exist", doc, m[1])
+				continue
+			}
+			// An anchor into another markdown document must be one of
+			// its headings.
+			if anchor != "" && strings.EqualFold(filepath.Ext(clean), ".md") {
+				if _, ok := anchorsByFile[clean]; !ok {
+					anchorsByFile[clean] = headingAnchors(t, clean)
+				}
+				if !anchorsByFile[clean][anchor] {
+					t.Errorf("%s: link %q: no heading in %s anchors #%s", doc, m[1], clean, anchor)
+				}
 			}
 		}
 	}

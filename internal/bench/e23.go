@@ -1,0 +1,379 @@
+package bench
+
+// E23: the distributed-fold ablation. Four REAL `xnf serve` worker
+// processes are spawned from the built binary; the coordinator
+// (internal/distrib) ships every document of the E22 1000-document
+// chain family to them as whole-document fold requests and merges the
+// returned states into verdicts.
+//
+// The gated baseline is what distribution actually replaces when the
+// checking cannot stay in one process: a fresh `xnf check <spec>
+// <file>` process per file, paying process start-up plus Σ compilation
+// per document. The persistent workers compile Σ once and fold many,
+// so the coordinator side must win ≥2x per document — a claim about
+// amortization, which holds at any core count (in-process sweep
+// timings ride along as ungated context rows; their ratio to the
+// distributed sweep is a statement about the machine's parallelism,
+// not about the protocol).
+//
+// Correctness gates do not depend on timing: distributed verdicts must
+// agree exactly with the sequential in-process sweep; every fold must
+// have gone remote while the workers are healthy; killing one of the
+// four workers mid-family must leave every verdict unchanged (the
+// degradation contract); and the CLI surface must be byte-identical —
+// `xnf check -workers ...` output equals the undistributed output for
+// the text, -json and -witness forms, and `-r` sweeps byte for byte.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"xmlnorm/internal/corpus"
+	"xmlnorm/internal/distrib"
+	"xmlnorm/internal/gen"
+	"xmlnorm/internal/paperdata"
+	"xmlnorm/internal/xfd"
+)
+
+// e23SpawnFiles bounds the per-file process baseline: 250 spawns
+// measure the per-document cost well, and the full-family number is
+// scaled from it (the cost is constant per file).
+const e23SpawnFiles = 250
+
+// e23SpecText renders the chain family's specification in the spec
+// file syntax, so the worker processes and the coordinator parse the
+// SAME text — which is what makes their spec hashes agree.
+func e23SpecText() string {
+	return gen.ChainDTD(e22Depth, 2).String() + "%%\n" + xfd.FormatSet(gen.ChainFDs(e22Depth, 2))
+}
+
+// e23MultiDoc is an e22Doc with several top-level spines, so the
+// single-document CLI identity run actually splits into fragments.
+// Values are functions of the keys, and each (idx, spine) pair mints
+// its own keys; when violate is set spine 0 carries the e22Doc
+// duplicate.
+func e23MultiDoc(spines int, violate bool) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("<r>")
+	for s := 0; s < spines; s++ {
+		spine := e22Doc(e22Depth, 1000+s, violate && s == 0)
+		buf.Write(spine[len("<r>") : len(spine)-len("</r>")])
+	}
+	buf.WriteString("</r>")
+	return buf.Bytes()
+}
+
+// e23BuildXNF builds the real CLI binary into a temp dir.
+func e23BuildXNF() (bin string, cleanup func(), err error) {
+	dir, err := os.MkdirTemp("", "xnf-e23-bin-")
+	if err != nil {
+		return "", nil, err
+	}
+	cleanup = func() { os.RemoveAll(dir) }
+	bin = filepath.Join(dir, "xnf")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/xnf")
+	cmd.Dir = filepath.Dir(paperdata.Dir()) // the module root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		cleanup()
+		return "", nil, fmt.Errorf("go build ./cmd/xnf: %v\n%s", err, out)
+	}
+	return bin, cleanup, nil
+}
+
+// e23Worker is one spawned `xnf serve` process.
+type e23Worker struct {
+	addr string
+	kill func()
+}
+
+// e23StartWorker launches a worker on an ephemeral port and scrapes
+// its listen address off stderr.
+func e23StartWorker(bin, specPath string) (*e23Worker, error) {
+	cmd := exec.Command(bin, "serve", "-addr", "127.0.0.1:0", specPath)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var killed atomic.Bool
+	kill := func() {
+		if killed.CompareAndSwap(false, true) {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			const marker = "listening on http://"
+			if line := sc.Text(); strings.Contains(line, marker) {
+				select {
+				case addrCh <- line[strings.Index(line, marker)+len(marker):]:
+				default:
+				}
+			}
+			// Keep draining so the worker never blocks on stderr.
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return &e23Worker{addr: addr, kill: kill}, nil
+	case <-time.After(30 * time.Second):
+		kill()
+		return nil, fmt.Errorf("worker never reported its listen address")
+	}
+}
+
+// e23Sweep runs one corpus pass and collects the verdicts in walk
+// order.
+func e23Sweep(cs *xfd.CheckerSet, dir string, opts corpus.Options) ([]corpus.Verdict, corpus.Summary, error) {
+	var vs []corpus.Verdict
+	sum, err := corpus.Check(context.Background(), cs, dir, opts, func(v corpus.Verdict) {
+		vs = append(vs, v)
+	})
+	return vs, sum, err
+}
+
+// e23SweepsAgree compares two independent sweeps file by file.
+func e23SweepsAgree(a, b []corpus.Verdict) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Path != b[i].Path || (a[i].Err == nil) != (b[i].Err == nil) {
+			return false
+		}
+		if a[i].Err != nil {
+			if a[i].Err.Error() != b[i].Err.Error() {
+				return false
+			}
+			continue
+		}
+		if !e22VerdictsAgree(a[i].Violated, b[i].Violated) {
+			return false
+		}
+	}
+	return true
+}
+
+// e23RunCLI runs the built binary and returns stdout plus the exit
+// code; stderr rides along for error reporting only.
+func e23RunCLI(bin string, args ...string) (stdout string, code int, err error) {
+	cmd := exec.Command(bin, args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	runErr := cmd.Run()
+	code = cmd.ProcessState.ExitCode()
+	if runErr != nil && code < 0 {
+		return "", 0, fmt.Errorf("%v: %v\n%s", args, runErr, errb.String())
+	}
+	return out.String(), code, nil
+}
+
+// E23DistributedFold runs the ablation. Gates: per-document, shipping
+// folds to the persistent workers beats spawning a process per file
+// ≥2x on the 1000-document family; distributed verdicts agree exactly
+// with the sequential in-process sweep and nearly all folds actually
+// went remote; the kill-one-worker rerun completes with identical
+// verdicts; and the CLI output (text/-json/-witness single document,
+// -r sweep) is byte-identical with and without -workers.
+func E23DistributedFold() (*Table, error) {
+	t := &Table{
+		ID:     "E23",
+		Title:  "Distributed fold: coordinator + 4 xnf serve workers vs per-file processes, with degradation and byte-identity",
+		Claim:  "persistent workers compile once and fold many: >= 2x per document over a process per file, verdicts identical, one dead worker changes nothing",
+		Header: Row{"mode", "size", "baseline ms", "distributed ms", "speedup", "agree"},
+	}
+	specText := e23SpecText()
+	spec, err := parseSpec(specText)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := xfd.NewCheckerSetFor(spec.FDs)
+	if err != nil {
+		return nil, err
+	}
+	hash := distrib.SpecHash(spec.DTD, spec.FDs)
+
+	scratch, err := os.MkdirTemp("", "xnf-e23-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(scratch)
+	specPath := filepath.Join(scratch, "chain.spec")
+	if err := os.WriteFile(specPath, []byte(specText), 0o644); err != nil {
+		return nil, err
+	}
+	dir := filepath.Join(scratch, "corpus")
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		return nil, err
+	}
+	const nDocs = 1000
+	if err := e22WriteCorpus(dir, nDocs); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		files = append(files, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(files)
+
+	bin, cleanup, err := e23BuildXNF()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	// --- Baseline A (gated): a fresh process (spawn + Σ compile) per
+	// file, over a measured subset, scaled to the family size.
+	spawnSubsetT, err := bestOf(1, 1, func() error {
+		for _, f := range files[:e23SpawnFiles] {
+			if _, code, err := e23RunCLI(bin, "check", specPath, f); err != nil {
+				return err
+			} else if code > 1 {
+				return fmt.Errorf("per-file check of %s exited %d", f, code)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	spawnT := spawnSubsetT * time.Duration(nDocs) / time.Duration(e23SpawnFiles)
+
+	// --- Baseline B (context): the in-process sweeps.
+	var seqVerdicts []corpus.Verdict
+	seqT, err := bestOf(2, 1, func() error {
+		seqVerdicts, _, err = e23Sweep(cs, dir, corpus.Options{Workers: 1})
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	pooledT, err := bestOf(2, 1, func() error {
+		_, _, err := e23Sweep(cs, dir, corpus.Options{})
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// --- The distributed sweep: 4 worker processes.
+	workers := make([]*e23Worker, 4)
+	addrs := make([]string, len(workers))
+	for i := range workers {
+		if workers[i], err = e23StartWorker(bin, specPath); err != nil {
+			return nil, err
+		}
+		defer workers[i].kill()
+		addrs[i] = workers[i].addr
+	}
+	coord, err := distrib.New(cs, hash, addrs, distrib.Options{InFlight: 16})
+	if err != nil {
+		return nil, err
+	}
+	var distVerdicts []corpus.Verdict
+	distT, err := bestOf(3, 1, func() error {
+		distVerdicts, _, err = e23Sweep(cs, dir, corpus.Options{
+			Workers:   16,
+			CheckFile: coord.CheckFileOption(context.Background()),
+		})
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	st := coord.Stats()
+	t.Expect(st.Remote >= 9*nDocs/10 && st.Local*10 <= st.Remote,
+		"E23: healthy workers should take (nearly) every fold, stats %+v", st)
+	agree := e23SweepsAgree(seqVerdicts, distVerdicts)
+	t.Expect(agree, "E23: distributed verdicts differ from the sequential in-process sweep")
+	t.Expect(spawnT >= 2*distT,
+		"E23: distributed sweep must beat a process per file >= 2x, got %.1fx",
+		float64(spawnT)/float64(distT))
+	t.Rows = append(t.Rows,
+		Row{"process per file (gated)", fmt.Sprintf("%d docs", nDocs), ms(spawnT), ms(distT), speedup(spawnT, distT), fmt.Sprint(agree)},
+		Row{"in-process seq (context)", fmt.Sprintf("%d docs", nDocs), ms(seqT), ms(distT), speedup(seqT, distT), fmt.Sprint(agree)},
+		Row{"in-process pooled (context)", fmt.Sprintf("%d docs", nDocs), ms(pooledT), ms(distT), speedup(pooledT, distT), "-"},
+	)
+
+	// --- Degradation: kill one of the four workers, rerun, verdicts
+	// must not move (stats shift toward the survivors instead).
+	workers[0].kill()
+	degraded, err := distrib.New(cs, hash, addrs, distrib.Options{
+		InFlight: 16, Timeout: 2 * time.Second, Retries: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var killVerdicts []corpus.Verdict
+	killT, err := bestOf(1, 1, func() error {
+		killVerdicts, _, err = e23Sweep(cs, dir, corpus.Options{
+			Workers:   16,
+			CheckFile: degraded.CheckFileOption(context.Background()),
+		})
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	killAgree := e23SweepsAgree(seqVerdicts, killVerdicts)
+	t.Expect(killAgree, "E23: verdicts moved after killing a worker")
+	t.Expect(degraded.Stats().Remote > 0, "E23: survivors should still take folds, stats %+v", degraded.Stats())
+	t.Rows = append(t.Rows, Row{"one worker killed", fmt.Sprintf("%d docs", nDocs), ms(distT), ms(killT), "-", fmt.Sprint(killAgree)})
+
+	// --- CLI byte-identity: single document (text, -witness,
+	// -json -witness) and the -r sweep, with and without -workers.
+	// Witness node identities are deterministic here because both
+	// invocations are fresh processes parsing spec-then-document.
+	liveAddrs := strings.Join(addrs[1:], ",") // survivors only: identity must not depend on worker health
+	docPath := filepath.Join(scratch, "multi.xml")
+	if err := os.WriteFile(docPath, e23MultiDoc(8, true), 0o644); err != nil {
+		return nil, err
+	}
+	cliCases := [][]string{
+		{"check", specPath, docPath},
+		{"check", "-witness", specPath, docPath},
+		{"check", "-json", "-witness", specPath, docPath},
+		{"check", "-r", specPath, dir},
+	}
+	cliOK := true
+	for _, base := range cliCases {
+		want, wantCode, err := e23RunCLI(bin, base...)
+		if err != nil {
+			return nil, err
+		}
+		distArgs := append([]string{base[0], "-workers", liveAddrs}, base[1:]...)
+		got, gotCode, err := e23RunCLI(bin, distArgs...)
+		if err != nil {
+			return nil, err
+		}
+		same := got == want && gotCode == wantCode
+		cliOK = cliOK && same
+		t.Expect(same, "E23: `xnf %s` output differs under -workers (exit %d vs %d)",
+			strings.Join(base, " "), gotCode, wantCode)
+	}
+	t.Rows = append(t.Rows, Row{"CLI byte-identity", "4 invocations", "-", "-", "-", fmt.Sprint(cliOK)})
+
+	t.Notes = "gated baseline spawns `xnf check` per file (process + Σ compile per document, what remote checking costs without persistent workers), measured over " +
+		fmt.Sprint(e23SpawnFiles) + " files and scaled; the in-process rows are ungated context (their ratio measures the machine's cores, not the protocol); " +
+		"verdict agreement is FD- and witness-value-exact against the sequential sweep; the kill-one-worker rerun and the CLI comparisons share the same corpus"
+	return t, nil
+}

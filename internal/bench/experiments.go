@@ -1011,6 +1011,7 @@ var registry = []struct {
 	{"E20", func(Options) (*Table, error) { return E20SAXFusion() }},
 	{"E21", func(Options) (*Table, error) { return E21ServeThroughput() }},
 	{"E22", func(Options) (*Table, error) { return E22CorpusChecking() }},
+	{"E23", func(Options) (*Table, error) { return E23DistributedFold() }},
 }
 
 // Run executes the selected experiments in suite order with the given

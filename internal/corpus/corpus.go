@@ -37,6 +37,13 @@ type Options struct {
 	// Exts are the file extensions to check, compared case-insensitively
 	// with their leading dot (default: ".xml").
 	Exts []string
+	// CheckFile, when non-nil, replaces CheckOne for each entry — the
+	// hook the distributed coordinator plugs in, so a remote sweep
+	// reuses this package's walker, sequencer and summary unchanged.
+	// Implementations must preserve CheckOne's verdict and error-text
+	// contract; everything downstream (NDJSON output, summaries)
+	// assumes the two are interchangeable.
+	CheckFile func(path string, ropts xfd.ReaderOptions) ([]xfd.Violated, error)
 }
 
 func (o Options) workerCount() int {
@@ -124,8 +131,9 @@ func Check(ctx context.Context, cs *xfd.CheckerSet, dir string, opts Options, em
 // never aborts the sweep. Verdicts are delivered through emit (which
 // may be nil) in entry order regardless of which worker finishes
 // first, from whichever goroutine completed the reordering gap, one
-// call at a time. Cancelling ctx stops handing out files and returns
-// the context's error; entries already checked may go unemitted then.
+// call at a time. Cancelling ctx stops handing out files, stops the
+// verdict stream at the next emission, and returns the context's
+// error; entries already checked may go unemitted then.
 func CheckFiles(ctx context.Context, cs *xfd.CheckerSet, items []Verdict, opts Options, emit func(Verdict)) (Summary, error) {
 	ropts := xfd.ReaderOptions{MaxDepth: opts.MaxDepth}
 	var (
@@ -140,7 +148,7 @@ func CheckFiles(ctx context.Context, cs *xfd.CheckerSet, items []Verdict, opts O
 		mu.Lock()
 		defer mu.Unlock()
 		done[i] = &v
-		for next < len(done) && done[next] != nil {
+		for next < len(done) && done[next] != nil && ctx.Err() == nil {
 			d := done[next]
 			done[next] = nil
 			next++
@@ -161,7 +169,11 @@ func CheckFiles(ctx context.Context, cs *xfd.CheckerSet, items []Verdict, opts O
 	err := pool.ForEachCtx(ctx, opts.workerCount(), len(items), func(i int) error {
 		v := items[i]
 		if v.Err == nil {
-			v.Violated, v.Err = checkFile(cs, v.Path, ropts)
+			if opts.CheckFile != nil {
+				v.Violated, v.Err = opts.CheckFile(v.Path, ropts)
+			} else {
+				v.Violated, v.Err = CheckOne(cs, v.Path, ropts)
+			}
 		}
 		deliver(i, v)
 		return nil
@@ -172,8 +184,11 @@ func CheckFiles(ctx context.Context, cs *xfd.CheckerSet, items []Verdict, opts O
 	return sum, nil
 }
 
-// checkFile streams one file through the reader-driven checker.
-func checkFile(cs *xfd.CheckerSet, path string, ropts xfd.ReaderOptions) ([]xfd.Violated, error) {
+// CheckOne streams one file through the reader-driven checker — the
+// per-entry unit of a sweep, exported so Options.CheckFile overrides
+// (the distributed coordinator's local fallback in particular) can
+// reproduce its exact verdicts and error text.
+func CheckOne(cs *xfd.CheckerSet, path string, ropts xfd.ReaderOptions) ([]xfd.Violated, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

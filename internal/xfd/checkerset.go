@@ -60,6 +60,11 @@ type cluster struct {
 type CheckerSet struct {
 	fds      []compiledFD
 	clusters []cluster
+	// elemSides reports whether any FD side mentions an element-valued
+	// path — only then does FoldFragment need a positional address
+	// table (fragment.go); attribute/text-only sets fold with zero
+	// addressing overhead.
+	elemSides bool
 }
 
 // NewCheckerSet compiles sigma against the universe. Every path of
@@ -90,6 +95,13 @@ func NewCheckerSet(u *paths.Universe, sigma []FD) (*CheckerSet, error) {
 					return nil, fmt.Errorf("xfd: %s: %q is not in the path universe", f, p)
 				}
 				cf.rhs = append(cf.rhs, id)
+			}
+			for _, ids := range [][]paths.ID{cf.lhs, cf.rhs} {
+				for _, id := range ids {
+					if u.Info(id).Kind == paths.ElemKind {
+						cs.elemSides = true
+					}
+				}
 			}
 		}
 		cs.fds = append(cs.fds, cf)
@@ -256,6 +268,7 @@ func (cs *CheckerSet) checkCluster(cl *cluster, t *xmltree.Tree, only map[int]bo
 				continue
 			}
 			st.violated = true
+			st.groups = nil // dead once violated: free it mid-walk
 			remaining--
 			if onViolation != nil && !onViolation(fi, [2]tuples.Tuple{first, tup.Clone()}) {
 				aborted = true
@@ -404,6 +417,7 @@ func (cs *CheckerSet) shardVerdict(ctx context.Context, cl *cluster, t *xmltree.
 				}
 				if !sameRHS(first, tup, cf.rhs) {
 					res.violated[li] = true
+					res.groups[li] = nil // dead once violated
 					remaining--
 				}
 			}

@@ -6,7 +6,7 @@ package xfd
 // LHS-keyed group maps; everything that fold ever inspects about a
 // group is (a) whether two members disagree on the RHS and (b) one
 // representative per group — and RHS agreement is an equivalence
-// relation (AppendFoldKeys encodes its classes as byte keys). The fold
+// relation (the fold keys encode its classes as byte keys). The fold
 // therefore factors over any partition of the projection stream: fold
 // each part into its own FoldState, then Merge the states — a group
 // violates iff some pair of per-part representatives of one LHS key
@@ -27,17 +27,30 @@ package xfd
 // independently computed states combined associatively — the substrate
 // for multi-node scale-out.
 //
-// Portability caveat: fold keys embed vertex IDs for element-valued
-// paths, and vertex IDs are minted per process run. States marshaled
-// with MarshalBinary merge soundly across processes only when every FD
-// side mentions string-valued (attribute or text) paths, or when the
-// fragments were projected from one shared materialized tree (as
-// SplitFragments' shallow-copy fragments are). The in-process path has
-// no such restriction.
+// Portability: fold keys never embed process-minted vertex IDs.
+// An element value is keyed by its positional address — the spine of
+// per-label sibling ordinals from the root (the root itself is the
+// empty spine; each step records the node's index among its same-label
+// siblings). Within one label path — and an FD side always compares
+// values at one fixed path — the address identifies a node uniquely
+// and content-independently, so re-encoding vertices as addresses is
+// injective exactly where the fold compares them and the verdict is
+// unchanged. A Fragment carries the global starting ordinal of its run
+// of the split sibling group (Fragment.Start); FoldFragment offsets
+// the depth-1 ordinals of that label by it, which places every node of
+// every fragment back into whole-document coordinates: children of
+// other labels ride along whole and in original order, and subtrees
+// are intact, so all other ordinals already agree. States folded in
+// different processes — each with its own vertex IDs, even from a
+// serialize/reparse round trip — therefore merge soundly with no
+// restriction on FD shape; the cross-process differential suite
+// (internal/distrib) holds merged remote states bit-identical to the
+// local whole-document fold.
 
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"xmlnorm/internal/tuples"
 	"xmlnorm/internal/xmltree"
@@ -62,10 +75,25 @@ type FoldState struct {
 // fdFold is one FD's share of the state. groups maps the fold's LHS
 // key to the RHS-class key of the group's representative; once
 // violated is set the groups map is irrelevant (violation is absorbing
-// under Merge) and may be dropped.
+// under Merge) and is dropped — Fold, Merge and UnmarshalFoldState all
+// nil it out, so a long-lived state for a violating document retains
+// no dead group map.
 type fdFold struct {
 	groups   map[string]string
 	violated bool
+}
+
+// Fragment is one independently checkable piece of a document, as
+// SplitFragments produces them: a tree holding a contiguous run of the
+// split sibling group plus everything else, the label of the group
+// that was split, and the run's global starting ordinal within that
+// per-label group — the offset FoldFragment applies so fold keys
+// address nodes in whole-document coordinates. A whole document is the
+// fragment {Tree, "", 0}.
+type Fragment struct {
+	Tree  *xmltree.Tree
+	Label string
+	Start int
 }
 
 // NewFoldState returns an empty fold state for the set: the state of
@@ -78,20 +106,30 @@ func (cs *CheckerSet) NewFoldState() *FoldState {
 	return st
 }
 
-// Fold folds one fragment document into the state: every cluster whose
+// Fold folds one whole document into the state: the fragment
+// {t, "", 0}. See FoldFragment.
+func (st *FoldState) Fold(t *xmltree.Tree) { st.FoldFragment(Fragment{Tree: t}) }
+
+// FoldFragment folds one fragment into the state: every cluster whose
 // root label matches streams its projection once, and each tuple's
-// (LHS key, RHS class) lands in the group maps of the cluster's FDs —
-// the exact keys CheckerSet.AppendFoldKeys defines, so a state folded
-// from the whole document decides each FD exactly like
-// CheckerSet.Check. Folding several fragments into one state is
-// equivalent to folding each into its own state and merging. A cluster
-// walk short-circuits once all its FDs are violated (violation is
-// absorbing).
-func (st *FoldState) Fold(t *xmltree.Tree) {
+// (LHS key, RHS class) lands in the group maps of the cluster's FDs.
+// Element values are keyed by their positional address offset by
+// f.Start (see the package comment), so a state folded from the whole
+// document decides each FD exactly like CheckerSet.Check, and states
+// folded from SplitFragments' fragments — in this process or any other
+// — merge to the whole-document verdict. Folding several fragments
+// into one state is equivalent to folding each into its own state and
+// merging. A cluster walk short-circuits once all its FDs are violated
+// (violation is absorbing).
+func (st *FoldState) FoldFragment(f Fragment) {
 	cs := st.cs
+	var addrs map[xmltree.NodeID]string
+	if cs.elemSides {
+		addrs = fragmentAddrs(f)
+	}
 	for ci := range cs.clusters {
 		cl := &cs.clusters[ci]
-		if cl.label != t.Root.Label {
+		if cl.label != f.Tree.Root.Label {
 			continue
 		}
 		remaining := 0
@@ -104,32 +142,110 @@ func (st *FoldState) Fold(t *xmltree.Tree) {
 			continue
 		}
 		var lhsBuf, rhsBuf []byte
-		cl.pr.Stream(t, func(tup tuples.Tuple) bool {
+		cl.pr.Stream(f.Tree, func(tup tuples.Tuple) bool {
 			for _, fi := range cl.fds {
-				f := &st.fds[fi]
-				if f.violated {
+				fd := &st.fds[fi]
+				if fd.violated {
 					continue
 				}
-				lhsK, rhsK, applies := cs.AppendFoldKeys(tup, fi, lhsBuf[:0], rhsBuf[:0])
+				lhsK, rhsK, applies := cs.appendPortableKeys(tup, fi, addrs, lhsBuf[:0], rhsBuf[:0])
 				lhsBuf, rhsBuf = lhsK, rhsK
 				if !applies {
 					continue
 				}
-				rep, seen := f.groups[string(lhsK)]
+				rep, seen := fd.groups[string(lhsK)]
 				if !seen {
-					f.groups[string(lhsK)] = string(rhsK)
+					fd.groups[string(lhsK)] = string(rhsK)
 					continue
 				}
 				if rep == string(rhsK) {
 					continue
 				}
-				f.violated = true
-				f.groups = nil
+				fd.violated = true
+				fd.groups = nil
 				remaining--
 			}
 			return remaining > 0
 		})
 	}
+}
+
+// fragmentAddrs assigns every node of the fragment its positional
+// address: the spine of per-label sibling ordinals from the root,
+// encoded as a uvarint sequence (the root is the empty spine). Depth-1
+// children carrying the fragment's split label have their ordinal
+// offset by f.Start, which puts the whole table into whole-document
+// coordinates; all other ordinals are already global because children
+// of other labels ride along whole and in order, and subtrees are
+// intact.
+func fragmentAddrs(f Fragment) map[xmltree.NodeID]string {
+	addrs := make(map[xmltree.NodeID]string)
+	addrs[f.Tree.Root.ID] = ""
+	var walk func(n *xmltree.Node, prefix []byte, depth int)
+	walk = func(n *xmltree.Node, prefix []byte, depth int) {
+		if len(n.Children) == 0 {
+			return
+		}
+		counts := make(map[string]int, 4)
+		for _, c := range n.Children {
+			ord := counts[c.Label]
+			counts[c.Label]++
+			if depth == 0 && c.Label == f.Label {
+				ord += f.Start
+			}
+			// Full-slice the prefix so sibling appends never share
+			// backing arrays.
+			addr := appendUvarint(prefix[:len(prefix):len(prefix)], uint64(ord))
+			addrs[c.ID] = string(addr)
+			walk(c, addr, depth+1)
+		}
+	}
+	walk(f.Tree.Root, nil, 0)
+	return addrs
+}
+
+// appendPortableKeys computes FD fi's fold keys for one projected
+// tuple — the FoldState analog of AppendFoldKeys, with every vertex
+// value encoded through the fragment's address table instead of its
+// process-minted NodeID, which is what makes marshaled states
+// comparable and mergeable across processes. addrs may be nil only
+// when no FD side of the set mentions an element-valued path.
+func (cs *CheckerSet) appendPortableKeys(tup tuples.Tuple, fi int, addrs map[xmltree.NodeID]string, lhsDst, rhsDst []byte) (lhsK, rhsK []byte, applies bool) {
+	cf := &cs.fds[fi]
+	lhsK = lhsDst
+	for _, id := range cf.lhs {
+		v, ok := tup.GetID(id)
+		if !ok {
+			return lhsK, rhsDst, false
+		}
+		lhsK = appendPortableValue(lhsK, v, addrs)
+	}
+	rhsK = rhsDst
+	for _, id := range cf.rhs {
+		v, ok := tup.GetID(id)
+		if !ok {
+			rhsK = append(rhsK, 0) // ⊥: present-vs-absent must differ
+			continue
+		}
+		rhsK = appendPortableValue(rhsK, v, addrs)
+	}
+	return lhsK, rhsK, true
+}
+
+// appendPortableValue appends one self-delimiting value encoding:
+// vertices as tag 1 + length-prefixed positional address, strings as
+// tag 2 + length-prefixed bytes (tag 0 is the RHS ⊥ marker).
+func appendPortableValue(dst []byte, v tuples.Value, addrs map[xmltree.NodeID]string) []byte {
+	if v.IsNode() {
+		a := addrs[v.Node()]
+		dst = append(dst, 1)
+		dst = appendUvarint(dst, uint64(len(a)))
+		return append(dst, a...)
+	}
+	s := v.Str()
+	dst = append(dst, 2)
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
 }
 
 // Merge folds another state into this one. Merge is associative and
@@ -210,11 +326,11 @@ func (st *FoldState) Satisfied() bool {
 }
 
 // MarshalBinary serializes the state: a magic header, the FD count,
-// then per FD the violated flag and the (LHS key, RHS class) pairs.
-// Group iteration order is unspecified, so two encodings of one state
-// may differ as bytes while unmarshaling to equivalent states. See the
-// package comment on fragment.go for when cross-process merging of
-// marshaled states is sound.
+// then per FD the violated flag and the (LHS key, RHS class) pairs in
+// sorted LHS-key order. The encoding is canonical — two states marshal
+// to identical bytes iff they carry identical verdicts and group
+// representatives — which is what lets the differential suites assert
+// cross-process merges bit-identical to local folds.
 func (st *FoldState) MarshalBinary() ([]byte, error) {
 	out := []byte(foldStateMagic)
 	out = binary.AppendUvarint(out, uint64(len(st.fds)))
@@ -226,7 +342,13 @@ func (st *FoldState) MarshalBinary() ([]byte, error) {
 		}
 		out = append(out, 0)
 		out = binary.AppendUvarint(out, uint64(len(f.groups)))
-		for lhsK, rhsK := range f.groups {
+		keys := make([]string, 0, len(f.groups))
+		for lhsK := range f.groups {
+			keys = append(keys, lhsK)
+		}
+		sort.Strings(keys)
+		for _, lhsK := range keys {
+			rhsK := f.groups[lhsK]
 			out = binary.AppendUvarint(out, uint64(len(lhsK)))
 			out = append(out, lhsK...)
 			out = binary.AppendUvarint(out, uint64(len(rhsK)))
@@ -313,13 +435,16 @@ func (cs *CheckerSet) UnmarshalFoldState(data []byte) (*FoldState, error) {
 // the original's ID, attributes and text — rides along in each
 // fragment, so no fragment fabricates an empty relevant group (an
 // empty group would project spurious ⊥ choices the whole document
-// never makes). Folding each fragment into a FoldState and merging
-// yields the whole document's verdict; see the fragment.go package
-// comment for why. When nothing is splittable (k < 2, no applicable
-// cluster, or no relevant group with two children) the document is
-// returned as the single fragment. Fragments share the original's
-// nodes: safe to fold concurrently, not to mutate.
-func (cs *CheckerSet) SplitFragments(t *xmltree.Tree, k int) []*xmltree.Tree {
+// never makes). Each fragment records the split label and its run's
+// global starting ordinal, which FoldFragment needs to key element
+// values in whole-document coordinates. Folding each fragment into a
+// FoldState and merging yields the whole document's verdict; see the
+// fragment.go package comment for why. When nothing is splittable
+// (k < 2, no applicable cluster, or no relevant group with two
+// children) the document is returned as the single whole fragment.
+// Fragments share the original's nodes: safe to fold concurrently, not
+// to mutate.
+func (cs *CheckerSet) SplitFragments(t *xmltree.Tree, k int) []Fragment {
 	label := ""
 	if k >= 2 {
 		counts := make(map[string]int, 8)
@@ -340,7 +465,7 @@ func (cs *CheckerSet) SplitFragments(t *xmltree.Tree, k int) []*xmltree.Tree {
 		}
 	}
 	if label == "" {
-		return []*xmltree.Tree{t}
+		return []Fragment{{Tree: t}}
 	}
 	var mine, others []*xmltree.Node
 	for _, c := range t.Root.Children {
@@ -353,7 +478,7 @@ func (cs *CheckerSet) SplitFragments(t *xmltree.Tree, k int) []*xmltree.Tree {
 	if k > len(mine) {
 		k = len(mine)
 	}
-	frags := make([]*xmltree.Tree, 0, k)
+	frags := make([]Fragment, 0, k)
 	for f := 0; f < k; f++ {
 		// Contiguous runs covering mine exactly once.
 		lo, hi := f*len(mine)/k, (f+1)*len(mine)/k
@@ -366,7 +491,7 @@ func (cs *CheckerSet) SplitFragments(t *xmltree.Tree, k int) []*xmltree.Tree {
 		}
 		root.Children = make([]*xmltree.Node, 0, hi-lo+len(others))
 		root.Children = append(append(root.Children, mine[lo:hi]...), others...)
-		frags = append(frags, &xmltree.Tree{Root: root})
+		frags = append(frags, Fragment{Tree: &xmltree.Tree{Root: root}, Label: label, Start: lo})
 	}
 	return frags
 }

@@ -74,6 +74,11 @@ func mergeAll(t *testing.T, states []*xfd.FoldState, rng *rand.Rand) *xfd.FoldSt
 //     association order — reproduces that verdict;
 //   - a MarshalBinary/UnmarshalFoldState round trip of every fragment
 //     state before merging changes nothing;
+//   - folding each fragment from a serialize/reparse round trip of its
+//     tree — fresh vertex IDs, as a remote worker would mint — merges
+//     to a state whose canonical encoding is bit-identical to the
+//     whole-document fold's (the portable-addressing contract; the
+//     random σ draws element-valued sides regularly);
 //   - WitnessReport over the merged verdict is bit-identical to the
 //     sequential Violations report.
 func TestFoldStateDifferential(t *testing.T) {
@@ -119,13 +124,27 @@ func TestFoldStateDifferential(t *testing.T) {
 			t.Fatalf("instance %d: whole-document fold violated %v, Violations %v\nDTD:\n%s\ndoc:\n%s",
 				instances, got, want, d, doc)
 		}
+		wholeBytes, err := whole.MarshalBinary()
+		if err != nil {
+			t.Fatalf("MarshalBinary: %v", err)
+		}
 
 		for _, k := range []int{1, 2, 3, 7} {
 			frags := cs.SplitFragments(doc, k)
 			states := make([]*xfd.FoldState, len(frags))
+			remote := make([]*xfd.FoldState, len(frags))
 			if err := pool.ForEach(4, len(frags), func(i int) error {
 				states[i] = cs.NewFoldState()
-				states[i].Fold(frags[i])
+				states[i].FoldFragment(frags[i])
+				// The cross-process leg: re-fold the fragment from a
+				// serialize/reparse round trip, which mints fresh
+				// vertex IDs exactly like a worker process would.
+				reparsed, err := xmltree.ParseString(frags[i].Tree.String())
+				if err != nil {
+					return err
+				}
+				remote[i] = cs.NewFoldState()
+				remote[i].FoldFragment(xfd.Fragment{Tree: reparsed, Label: frags[i].Label, Start: frags[i].Start})
 				return nil
 			}); err != nil {
 				t.Fatal(err)
@@ -149,14 +168,26 @@ func TestFoldStateDifferential(t *testing.T) {
 				t.Fatalf("instance %d: merged Satisfied = %v, want %v", instances, got, len(want) == 0)
 			}
 			sameReports(t, seq, cs.WitnessReport(doc, merged.ViolatedSet()), "fragment-merged report")
+
+			remoteMerged := mergeAll(t, remote, rng)
+			remoteBytes, err := remoteMerged.MarshalBinary()
+			if err != nil {
+				t.Fatalf("MarshalBinary: %v", err)
+			}
+			if string(remoteBytes) != string(wholeBytes) {
+				t.Fatalf("instance %d: k=%d reparsed-fragment merge is not bit-identical to the whole-document fold\nDTD:\n%s\ndoc:\n%s",
+					instances, k, d, doc)
+			}
 		}
 	}
 }
 
 // TestSplitFragmentsPartition pins the structural contract: the chosen
 // sibling group's children are dealt to the fragments exactly once in
-// document order, every other child rides along in each fragment, and
-// all fragment roots share the original root's vertex ID.
+// document order, each fragment carries the split label and the global
+// starting ordinal of its run, every other child rides along in each
+// fragment, and all fragment roots share the original root's vertex
+// ID.
 func TestSplitFragmentsPartition(t *testing.T) {
 	doc, err := xmltree.ParseString(
 		"<r><c k=\"1\"/><c k=\"2\"/><c k=\"3\"/><c k=\"4\"/><c k=\"5\"/><o/><o/></r>")
@@ -174,11 +205,17 @@ func TestSplitFragmentsPartition(t *testing.T) {
 	}
 	var seen []string
 	for _, f := range frags {
-		if f.Root.ID != doc.Root.ID {
-			t.Fatalf("fragment root ID %d, want the original %d", f.Root.ID, doc.Root.ID)
+		if f.Tree.Root.ID != doc.Root.ID {
+			t.Fatalf("fragment root ID %d, want the original %d", f.Tree.Root.ID, doc.Root.ID)
+		}
+		if f.Label != "c" {
+			t.Fatalf("fragment split label %q, want \"c\"", f.Label)
+		}
+		if f.Start != len(seen) {
+			t.Fatalf("fragment starting ordinal %d, want %d", f.Start, len(seen))
 		}
 		others := 0
-		for _, c := range f.Root.Children {
+		for _, c := range f.Tree.Root.Children {
 			switch c.Label {
 			case "c":
 				seen = append(seen, c.Attrs["k"])
@@ -198,22 +235,23 @@ func TestSplitFragmentsPartition(t *testing.T) {
 	if got := len(cs.SplitFragments(doc, 99)); got != 5 {
 		t.Fatalf("k=99 gives %d fragments, want 5", got)
 	}
-	// k < 2 and documents with nothing splittable return the document.
-	if got := cs.SplitFragments(doc, 1); len(got) != 1 || got[0] != doc {
-		t.Fatalf("k=1 must return the document itself")
+	// k < 2 and documents with nothing splittable return the whole
+	// document as the single offset-free fragment.
+	if got := cs.SplitFragments(doc, 1); len(got) != 1 || got[0].Tree != doc || got[0].Label != "" || got[0].Start != 0 {
+		t.Fatalf("k=1 must return the document itself as the whole fragment")
 	}
 	single, err := xmltree.ParseString("<r><c k=\"1\"/></r>")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := cs.SplitFragments(single, 4); len(got) != 1 || got[0] != single {
+	if got := cs.SplitFragments(single, 4); len(got) != 1 || got[0].Tree != single {
 		t.Fatalf("a one-child group must not split")
 	}
 	foreign, err := xmltree.ParseString("<z><c/><c/></z>")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := cs.SplitFragments(foreign, 4); len(got) != 1 || got[0] != foreign {
+	if got := cs.SplitFragments(foreign, 4); len(got) != 1 || got[0].Tree != foreign {
 		t.Fatalf("a foreign root label must not split")
 	}
 }

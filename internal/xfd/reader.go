@@ -51,6 +51,12 @@ func (o ReaderOptions) limit() int {
 	return o.MaxDepth
 }
 
+// Limit is the option encoding translated to WalkTokens' convention
+// (0 = unlimited) — exported for the distributed coordinator, which
+// ships the effective bound to workers so a remote parse enforces
+// exactly the nesting limit the local check would.
+func (o ReaderOptions) Limit() int { return o.limit() }
+
 // clusterFold builds the per-tuple fold of one cluster — the exact
 // fold checkCluster runs, as a yield callback for the cluster's token
 // stream. The shared aborted flag mirrors Check's abort semantics
@@ -91,6 +97,7 @@ func (cs *CheckerSet) clusterFold(cl *cluster, aborted *bool, onViolation func(i
 				continue
 			}
 			st.violated = true
+			st.groups = nil // dead once violated: free it mid-stream
 			remaining--
 			if onViolation != nil && !onViolation(fi, [2]tuples.Tuple{first, tup.Clone()}) {
 				*aborted = true

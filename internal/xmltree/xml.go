@@ -17,10 +17,17 @@ import (
 // exactly the documents the streaming checkers accept; rejections are
 // *MalformedError values. Callers that cannot afford the materialized
 // tree should stream through WalkTokens instead.
-func Parse(r io.Reader) (*Tree, error) {
+func Parse(r io.Reader) (*Tree, error) { return ParseLimit(r, 0) }
+
+// ParseLimit is Parse with an element-nesting bound: a positive
+// maxDepth rejects deeper input with a *DepthError (0 means
+// unlimited, WalkTokens' convention). Servers parsing untrusted
+// request bodies use it so hostile nesting fails typed instead of
+// growing the stack.
+func ParseLimit(r io.Reader, maxDepth int) (*Tree, error) {
 	var stack []*Node
 	var root *Node
-	err := WalkTokens(r, 0, TokenCallbacks{
+	err := WalkTokens(r, maxDepth, TokenCallbacks{
 		Open: func(label string, attrs []Attr) error {
 			n := NewNode(label)
 			for _, a := range attrs {
