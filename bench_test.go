@@ -442,3 +442,20 @@ func BenchmarkE23_DistributedFold(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE24_Analyze: the schema-analysis ablation — sharded
+// candidate-key search (one memoized engine, counterexample-table
+// prefilter) vs the fresh-engine-per-candidate baseline, plus the
+// cover and report determinism passes. CI runs this once and archives
+// the cmd/experiments JSON of the same sweep as the BENCH_analyze.json
+// artifact. The ≥2x speedup gate, the key-list identity and the
+// determinism gates are checked by the `cmd/experiments E24` CI step;
+// here only hard errors fail, so timing noise can't flake the bench
+// job.
+func BenchmarkE24_Analyze(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E24SpecAnalysis(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -51,6 +51,10 @@ func TestGoldenOutput(t *testing.T) {
 		{"check_dblp.golden", []string{"check", td("dblp.spec")}, true},
 		{"normalize_courses.golden", []string{"normalize", "-v", td("courses.spec")}, false},
 		{"normalize_dblp.golden", []string{"normalize", "-v", td("dblp.spec")}, false},
+		{"analyze_courses.golden", []string{"analyze", "-witness", td("courses.spec")}, true},
+		{"analyze_courses_json.golden", []string{"analyze", "-json", "-witness", td("courses.spec")}, true},
+		{"analyze_dblp.golden", []string{"analyze", td("dblp.spec")}, true},
+		{"analyze_dblp_json.golden", []string{"analyze", "-json", td("dblp.spec")}, true},
 	}
 	configs := [][]string{
 		nil,                                // defaults: GOMAXPROCS workers, cache on

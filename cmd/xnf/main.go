@@ -12,6 +12,8 @@
 //	xnf check -r <spec> <dir>        check every .xml under dir, NDJSON verdicts
 //	xnf check -fragments K ...       check via K merged fragment folds
 //	xnf check -workers H1,H2 ...     ship fold work to xnf serve workers (see distrib.go)
+//	xnf analyze <spec>               schema analysis: candidate keys, classified
+//	                                 canonical cover, anomaly diagnosis, 4XNF
 //	xnf normalize <spec>             print the normalized specification
 //	xnf implies <spec> "<fd>"        decide (D, Σ) ⊢ fd
 //	xnf classify <spec>              DTD taxonomy (simple/disjunctive/N_D/...)
@@ -105,7 +107,7 @@ func exitCode(err error) int {
 var errNegative = errors.New("negative result")
 
 func usage() error {
-	return fmt.Errorf("usage: xnf [-parallel N] [-cache=BOOL] <check|normalize|implies|classify|tuples|redundancy|transform|validate|cover|watch|serve> ...")
+	return fmt.Errorf("usage: xnf [-parallel N] [-cache=BOOL] <check|analyze|normalize|implies|classify|tuples|redundancy|transform|validate|cover|watch|serve> ...")
 }
 
 // engOpts is the engine configuration shared by all subcommands, set
@@ -144,6 +146,8 @@ func run(args []string) error {
 		return cmdValidate(rest)
 	case "cover":
 		return cmdCover(rest)
+	case "analyze":
+		return cmdAnalyze(rest)
 	case "watch":
 		return cmdWatch(rest)
 	case "serve":

@@ -147,6 +147,13 @@ type server struct {
 	fold http.Handler // the /fold worker endpoint (internal/distrib)
 	mu   sync.RWMutex
 	docs map[string]*hostedDoc
+
+	// The schema analysis is a property of the spec alone; it is
+	// computed once, on the first GET /docs/{name}/analyze, and served
+	// to every document from then on.
+	analysisOnce sync.Once
+	analysis     *xmlnorm.AnalysisReport
+	analysisErr  error
 }
 
 type hostedDoc struct {
@@ -184,6 +191,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("PUT /docs/{name}", s.handlePut)
 	mux.HandleFunc("DELETE /docs/{name}", s.handleDelete)
 	mux.HandleFunc("GET /docs/{name}/report", s.handleReport)
+	mux.HandleFunc("GET /docs/{name}/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /docs/{name}/txn", s.handleTxn)
 	mux.Handle("POST /fold", s.fold)
 	return mux
@@ -382,6 +390,29 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeVerdict(w, http.StatusOK, verdictObject(name, sn.Seq(), len(s.spec.FDs), report, wantWitness(r)))
+}
+
+// handleAnalyze serves the spec's schema-analysis report under a
+// hosted document's name, in the "xnf analyze -json" wire shape. The
+// document must exist (the route mirrors /report), but the analysis is
+// doc-independent and cached after the first request. "?witness=1"
+// adds the diagnosis tuple pairs.
+func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if _, ok := s.lookup(name); !ok {
+		httpError(w, http.StatusNotFound, "no document %q", name)
+		return
+	}
+	s.analysisOnce.Do(func() {
+		s.analysis, s.analysisErr = xmlnorm.Analyze(s.spec, xmlnorm.AnalyzeOptions{Engine: engOpts})
+	})
+	if s.analysisErr != nil {
+		httpError(w, http.StatusInternalServerError, "analyze: %v", s.analysisErr)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = writeJSON(w, analyzeObject(name, s.analysis, wantWitness(r)))
 }
 
 func (s *server) handleTxn(w http.ResponseWriter, r *http.Request) {

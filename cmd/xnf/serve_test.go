@@ -392,6 +392,54 @@ func TestServeFold(t *testing.T) {
 	}
 }
 
+// TestServeAnalyze covers the schema-analysis endpoint: it answers the
+// same wire object "xnf analyze -json" prints, named after the hosted
+// document, is computed once per server (the spec, not the document, is
+// analyzed), and 404s for unknown names.
+func TestServeAnalyze(t *testing.T) {
+	h := mustServer(t, serveSpec(t)).handler()
+	doReq(t, h, "PUT", "/docs/fig1", coursesXML(t), nil)
+
+	var a analyzeJSON
+	resp := doReq(t, h, "GET", "/docs/fig1/analyze", "", &a)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze status = %d", resp.StatusCode)
+	}
+	if a.Spec != "fig1" {
+		t.Fatalf("analyze spec = %q, want fig1", a.Spec)
+	}
+	if len(a.Keys) != 7 || len(a.Cover) != 3 || a.InXNF || len(a.Anomalies) != 1 {
+		t.Fatalf("analyze report = %+v", a)
+	}
+	if a.FourXNF.Satisfied || len(a.FourXNF.Violations) == 0 {
+		t.Fatalf("analyze 4XNF = %+v", a.FourXNF)
+	}
+	if len(a.Anomalies[0].Witness) != 0 {
+		t.Fatalf("witness present without ?witness=1: %+v", a.Anomalies[0].Witness)
+	}
+
+	// The witness toggle rides the query string, like /report.
+	var aw analyzeJSON
+	doReq(t, h, "GET", "/docs/fig1/analyze?witness=1", "", &aw)
+	if len(aw.Anomalies) != 1 || len(aw.Anomalies[0].Witness) == 0 {
+		t.Fatalf("witness missing: %+v", aw.Anomalies)
+	}
+
+	// The report is per-spec: a second document answers the same
+	// analysis under its own name.
+	doReq(t, h, "PUT", "/docs/fig2", coursesXML(t), nil)
+	var b analyzeJSON
+	doReq(t, h, "GET", "/docs/fig2/analyze", "", &b)
+	if b.Spec != "fig2" || len(b.Keys) != len(a.Keys) || b.InXNF != a.InXNF {
+		t.Fatalf("second analyze = %+v", b)
+	}
+
+	var errBody map[string]string
+	if resp := doReq(t, h, "GET", "/docs/ghost/analyze", "", &errBody); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("analyze on missing doc status = %d", resp.StatusCode)
+	}
+}
+
 // TestServeBodyBounds pins the 413 surface: both document-carrying
 // endpoints bound their bodies and answer 413 — not 400, not OOM —
 // past the limit.

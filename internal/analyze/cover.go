@@ -1,0 +1,117 @@
+package analyze
+
+import (
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/xfd"
+	"xmlnorm/internal/xnf"
+)
+
+// FDClass classifies one single-RHS split of Σ against the canonical
+// cover.
+type FDClass uint8
+
+const (
+	// ClassEssential: the split survives into the cover verbatim.
+	ClassEssential FDClass = iota
+	// ClassWeakened: the cover carries the same right-hand side under a
+	// strictly smaller left-hand side — the split's extra LHS paths are
+	// extraneous.
+	ClassWeakened
+	// ClassRedundant: the split is gone — it follows from the rest of
+	// the cover (or was DTD-trivial to begin with).
+	ClassRedundant
+)
+
+func (c FDClass) String() string {
+	switch c {
+	case ClassEssential:
+		return "essential"
+	case ClassWeakened:
+		return "weakened"
+	default:
+		return "redundant"
+	}
+}
+
+// ClassifiedFD is one single-RHS split of Σ with its classification.
+type ClassifiedFD struct {
+	FD    xfd.FD
+	Class FDClass
+	// WeakenedTo is the cover FD the split was weakened to (same RHS,
+	// strictly smaller LHS); nil unless Class is ClassWeakened.
+	WeakenedTo *xfd.FD
+}
+
+// Describe renders the classification as the report token:
+// "essential", "redundant", or "weakened-to:<fd>".
+func (c ClassifiedFD) Describe() string {
+	if c.Class == ClassWeakened && c.WeakenedTo != nil {
+		return "weakened-to:" + c.WeakenedTo.String()
+	}
+	return c.Class.String()
+}
+
+// Cover is the canonical cover of Σ together with the classification
+// of every member of Σ against it.
+type Cover struct {
+	// FDs is xnf.MinimalCover's result: singleton right-hand sides,
+	// reduced left-hand sides, no redundancy, canonical xfd.Compare
+	// order.
+	FDs []xfd.FD
+	// Sigma classifies each single-RHS split of the original Σ, in Σ
+	// order.
+	Sigma []ClassifiedFD
+}
+
+// CanonicalCover computes the canonical cover and classifies Σ against
+// it. The classification is purely structural — it compares the
+// splits with the cover the reduction already proved equivalent, so no
+// further implication queries run.
+func CanonicalCover(s xnf.Spec) (Cover, error) {
+	mc, err := xnf.MinimalCover(s)
+	if err != nil {
+		return Cover{}, err
+	}
+	c := Cover{FDs: mc}
+	for _, f := range s.FDs {
+		for _, split := range f.SingleRHS() {
+			c.Sigma = append(c.Sigma, classify(split, mc))
+		}
+	}
+	return c, nil
+}
+
+// classify matches one split against the cover: exact member →
+// essential; same RHS under a strictly smaller LHS → weakened to the
+// first such cover FD (canonical order makes the choice stable);
+// otherwise redundant.
+func classify(split xfd.FD, cover []xfd.FD) ClassifiedFD {
+	for _, cf := range cover {
+		if cf.Equal(split) {
+			return ClassifiedFD{FD: split, Class: ClassEssential}
+		}
+	}
+	for i, cf := range cover {
+		if cf.RHS[0].Equal(split.RHS[0]) && strictSubset(cf.LHS, split.LHS) {
+			return ClassifiedFD{FD: split, Class: ClassWeakened, WeakenedTo: &cover[i]}
+		}
+	}
+	return ClassifiedFD{FD: split, Class: ClassRedundant}
+}
+
+// strictSubset reports a ⊊ b as path-string sets.
+func strictSubset(a, b []dtd.Path) bool {
+	bs := make(map[string]bool, len(b))
+	for _, p := range b {
+		bs[p.String()] = true
+	}
+	as := make(map[string]bool, len(a))
+	for _, p := range a {
+		s := p.String()
+		if !bs[s] {
+			return false
+		}
+		as[s] = true
+	}
+	return len(as) < len(bs)
+}

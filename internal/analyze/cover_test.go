@@ -1,0 +1,58 @@
+package analyze
+
+import (
+	"testing"
+
+	"xmlnorm/internal/xfd"
+)
+
+// TestClassifyCourses: with noise added to the courses Σ, each split
+// lands in its class — the originals essential, a padded LHS weakened
+// to its reduction, a DTD-trivial FD redundant.
+func TestClassifyCourses(t *testing.T) {
+	s := coursesSpec(t)
+	s.FDs = append(s.FDs,
+		// Padded LHS: reduces to FD3, already in the cover.
+		xfd.MustParse("courses.course.taken_by.student.@sno, courses.course.@cno -> courses.course.taken_by.student.name.S"),
+		// DTD-trivial: dropped outright.
+		xfd.MustParse("courses.course -> courses.course.@cno"),
+	)
+	c, err := CanonicalCover(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Sigma) != 5 {
+		t.Fatalf("classified %d splits, want 5", len(c.Sigma))
+	}
+	wantClass := []FDClass{ClassEssential, ClassEssential, ClassEssential, ClassWeakened, ClassRedundant}
+	for i, cf := range c.Sigma {
+		if cf.Class != wantClass[i] {
+			t.Errorf("split %d (%s) classified %s, want %s", i, cf.FD, cf.Class, wantClass[i])
+		}
+	}
+	weak := c.Sigma[3]
+	if weak.WeakenedTo == nil || weak.WeakenedTo.String() != "courses.course.taken_by.student.@sno -> courses.course.taken_by.student.name.S" {
+		t.Errorf("weakened split points at %v, want the reduced FD3", weak.WeakenedTo)
+	}
+	if got, want := weak.Describe(), "weakened-to:courses.course.taken_by.student.@sno -> courses.course.taken_by.student.name.S"; got != want {
+		t.Errorf("Describe() = %q, want %q", got, want)
+	}
+	// The cover itself carries no trace of the noise.
+	if len(c.FDs) != 3 {
+		t.Errorf("cover has %d FDs, want 3:\n%s", len(c.FDs), xfd.FormatSet(c.FDs))
+	}
+	// Every split's classification names a cover member or "redundant"/
+	// "essential" — and the rendering is one of the three report tokens.
+	for _, cf := range c.Sigma {
+		switch cf.Class {
+		case ClassEssential, ClassRedundant:
+			if cf.WeakenedTo != nil {
+				t.Errorf("%s: WeakenedTo set on %s", cf.FD, cf.Class)
+			}
+		case ClassWeakened:
+			if cf.WeakenedTo == nil {
+				t.Errorf("%s: weakened without a target", cf.FD)
+			}
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package analyze
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/engine"
+	"xmlnorm/internal/gen"
+	"xmlnorm/internal/paths"
+	"xmlnorm/internal/xfd"
+	"xmlnorm/internal/xnf"
+)
+
+// pathIndices maps a path set to its index positions within ps, the
+// form superkeyQueries addresses candidates in.
+func pathIndices(t *testing.T, lhs, ps []dtd.Path) []int {
+	t.Helper()
+	byName := map[string]int{}
+	for i, p := range ps {
+		byName[p.String()] = i
+	}
+	sub := make([]int, 0, len(lhs))
+	for _, p := range lhs {
+		i, ok := byName[p.String()]
+		if !ok {
+			t.Fatalf("path %s not in paths(D)", p)
+		}
+		sub = append(sub, i)
+	}
+	sort.Ints(sub)
+	return sub
+}
+
+// TestCandidateKeysCourses pins the courses keys: the three deepest
+// element paths each determine the whole tuple structurally, and @sno
+// paired with anything determining the course vertex completes a key
+// through FD2.
+func TestCandidateKeysCourses(t *testing.T) {
+	keys, err := CandidateKeys(coursesSpec(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"courses.course.taken_by.student",
+		"courses.course.taken_by.student.grade",
+		"courses.course.taken_by.student.name",
+		"courses.course, courses.course.taken_by.student.@sno",
+		"courses.course.@cno, courses.course.taken_by.student.@sno",
+		"courses.course.taken_by, courses.course.taken_by.student.@sno",
+		"courses.course.title, courses.course.taken_by.student.@sno",
+	}
+	got := make([]string, len(keys))
+	for i, k := range keys {
+		got[i] = k.String()
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("keys =\n%v\nwant\n%v", got, want)
+	}
+}
+
+// TestCandidateKeysMatchBaseline: the sharded, cached, prefiltered
+// search and the naive per-candidate baseline decide the same
+// predicate, so their key lists must be identical — on the running
+// examples and on seeded random specs.
+func TestCandidateKeysMatchBaseline(t *testing.T) {
+	check := func(name string, s xnf.Spec, maxSize int) {
+		t.Helper()
+		fast, err := CandidateKeys(s, Options{MaxKeySize: maxSize})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		slow, err := CandidateKeysBaseline(s, maxSize)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(render(fast), render(slow)) {
+			t.Errorf("%s: sharded and baseline searches disagree:\n fast %v\n slow %v",
+				name, render(fast), render(slow))
+		}
+	}
+	check("courses", coursesSpec(t), 2)
+	check("dblp", loadSpec(t, "dblp.spec"), 2)
+
+	d := dtd.MustParse(flatDTD)
+	ps, err := d.Paths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	trials := 30
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		var sigma []xfd.FD
+		for n := rng.Intn(4); n > 0; n-- {
+			f := xfd.FD{
+				LHS: []dtd.Path{ps[rng.Intn(len(ps))]},
+				RHS: []dtd.Path{ps[rng.Intn(len(ps))]},
+			}
+			if rng.Intn(2) == 0 {
+				f.LHS = append(f.LHS, ps[rng.Intn(len(ps))])
+			}
+			sigma = append(sigma, f)
+		}
+		check("random", xnf.Spec{DTD: d, FDs: sigma}, 2)
+	}
+}
+
+func render(keys []Key) []string {
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = k.String()
+	}
+	return out
+}
+
+const flatDTD = `
+<!ELEMENT r (a*)>
+<!ELEMENT a EMPTY>
+<!ATTLIST a k CDATA #REQUIRED v CDATA #REQUIRED w CDATA #REQUIRED u CDATA #REQUIRED>`
+
+// TestKeysAreMinimalSuperkeysTreeLevel is the key property at tree
+// level. Superkey: every random conforming, Σ-satisfying document
+// satisfies X → p for all p — checked by folding the document through
+// a compiled CheckerSet, not by the engine that found the key.
+// Minimal: for every proper subset Y ⊊ X, some X-free query fails,
+// and the engine's verified counterexample document exhibits the
+// failure concretely.
+func TestKeysAreMinimalSuperkeysTreeLevel(t *testing.T) {
+	s := coursesSpec(t)
+	keys, err := CandidateKeys(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) == 0 {
+		t.Fatal("no keys to test")
+	}
+	ps, err := s.DTD.Paths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := paths.New(s.DTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigmaCheck, err := xfd.NewCheckerSet(u, s.FDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Superkey direction over random documents.
+	rng := rand.New(rand.NewSource(20020602))
+	docs := 0
+	trials := 400
+	if testing.Short() {
+		trials = 60
+	}
+	for trial := 0; trial < trials && docs < 25; trial++ {
+		doc, err := gen.Document(s.DTD, rng, 3, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sigmaCheck.SatisfiesAll(doc) {
+			continue
+		}
+		docs++
+		for _, k := range keys {
+			cs, err := xfd.NewCheckerSet(u, superkeyQueries(pathIndices(t, k.Paths, ps), k.Paths, ps, u))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cs.SatisfiesAll(doc) {
+				t.Fatalf("Σ-satisfying document violates key %s", k)
+			}
+		}
+	}
+	if docs < 5 {
+		t.Fatalf("only %d Σ-satisfying documents generated; property undersampled", docs)
+	}
+	// Minimality direction through the engine's verified counterexamples.
+	eng, err := engine.New(s.DTD, s.FDs, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		for drop := 0; drop < len(k.Paths); drop++ {
+			sub := append(append([]dtd.Path{}, k.Paths[:drop]...), k.Paths[drop+1:]...)
+			if len(sub) == 0 {
+				continue
+			}
+			refuted := false
+			for _, q := range superkeyQueries(pathIndices(t, sub, ps), sub, ps, u) {
+				ans, err := eng.Implies(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ans.Implied {
+					continue
+				}
+				refuted = true
+				if ans.Counterexample == nil || !ans.Verified {
+					t.Fatalf("key %s: subset %v refuted without a verified counterexample", k, sub)
+				}
+				if _, found := xfd.Violation(ans.Counterexample, q); !found {
+					t.Fatalf("key %s: counterexample does not violate %s", k, q)
+				}
+				break
+			}
+			if !refuted {
+				t.Fatalf("key %s is not minimal: subset %v is a superkey", k, sub)
+			}
+		}
+	}
+}

@@ -1012,6 +1012,7 @@ var registry = []struct {
 	{"E21", func(Options) (*Table, error) { return E21ServeThroughput() }},
 	{"E22", func(Options) (*Table, error) { return E22CorpusChecking() }},
 	{"E23", func(Options) (*Table, error) { return E23DistributedFold() }},
+	{"E24", func(Options) (*Table, error) { return E24SpecAnalysis() }},
 }
 
 // Run executes the selected experiments in suite order with the given

@@ -252,6 +252,30 @@ func (e *Engine) ImpliesBatch(qs []xfd.FD) ([]implication.Answer, error) {
 	return out, nil
 }
 
+// ImpliesAll decides the conjunction of a query batch verdict-only: it
+// returns the lowest index i with (D, Σ) ⊬ qs[i], or -1 when every
+// query is implied — the shape of the candidate-key superkey test. The
+// probes fan out across the engine's worker pool through pool.First,
+// so a refuted conjunction stops near its first failure instead of
+// computing the whole batch like ImpliesBatch; answers still come from
+// (and feed) the cache, and the returned index is exactly the one a
+// sequential scan would stop at. The hit is re-answered through the
+// cache to surface a query error deterministically: an error at the
+// lowest failing index is returned, errors beyond it are unreachable.
+func (e *Engine) ImpliesAll(qs []xfd.FD) (int, error) {
+	idx := pool.First(e.opts.workers(), len(qs), func(i int) bool {
+		ans, err := e.Implies(qs[i])
+		return err != nil || !ans.Implied
+	})
+	if idx < 0 {
+		return -1, nil
+	}
+	if _, err := e.Implies(qs[idx]); err != nil {
+		return 0, err
+	}
+	return idx, nil
+}
+
 // ForEach runs fn(i) for every i in [0, n) across the engine's worker
 // pool and returns the first error. With Workers == 1 the calls are
 // strictly sequential and stop at the first error, matching a plain

@@ -2,7 +2,6 @@ package implication
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -10,6 +9,7 @@ import (
 
 	"xmlnorm/internal/dtd"
 	"xmlnorm/internal/paths"
+	"xmlnorm/internal/pool"
 	"xmlnorm/internal/regex"
 	"xmlnorm/internal/tuples"
 	"xmlnorm/internal/xfd"
@@ -103,7 +103,7 @@ func BruteForceParallel(d *dtd.DTD, sigma []xfd.FD, q xfd.FD, bounds Bounds, wor
 	}
 	var checked atomic.Int64
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = pool.DefaultWorkers()
 	}
 	if workers > len(shapes) {
 		workers = len(shapes)
@@ -123,48 +123,29 @@ func BruteForceParallel(d *dtd.DTD, sigma []xfd.FD, q xfd.FD, bounds Bounds, wor
 	}
 	// Parallel: searchValues mutates the shape in place, and shapes from
 	// enumerateShapes share subtree nodes across sibling combinations, so
-	// each worker searches a private clone of its shape. minFound tracks
-	// the lowest shape index with a counterexample; indices beyond it are
-	// skipped, mirroring the sequential early exit.
+	// each worker searches a private clone of its shape. pool.First hands
+	// the shape indices to the workers and skips indices past the lowest
+	// hit so far, mirroring the sequential early exit: the index it
+	// returns is exactly the shape the sequential search would have
+	// stopped at. Each index is handed out once, so found[i] has a single
+	// writer.
 	found := make([]*xmltree.Tree, len(shapes))
-	var minFound atomic.Int64
-	minFound.Store(int64(len(shapes)))
 	var searchErr error
 	var errOnce sync.Once
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(shapes) {
-					return
-				}
-				if int64(i) >= minFound.Load() {
-					continue
-				}
-				tree := &xmltree.Tree{Root: shapes[i].Clone()}
-				f, err := searchValues(tree, d, checks, len(sigma), bounds, &checked)
-				if err != nil {
-					errOnce.Do(func() { searchErr = err })
-					continue // a later shape may still hold a counterexample
-				}
-				if f != nil {
-					found[i] = f
-					for {
-						cur := minFound.Load()
-						if int64(i) >= cur || minFound.CompareAndSwap(cur, int64(i)) {
-							break
-						}
-					}
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if min := minFound.Load(); min < int64(len(shapes)) {
+	min := pool.First(workers, len(shapes), func(i int) bool {
+		tree := &xmltree.Tree{Root: shapes[i].Clone()}
+		f, err := searchValues(tree, d, checks, len(sigma), bounds, &checked)
+		if err != nil {
+			errOnce.Do(func() { searchErr = err })
+			return false // a later shape may still hold a counterexample
+		}
+		if f == nil {
+			return false
+		}
+		found[i] = f
+		return true
+	})
+	if min >= 0 {
 		return Answer{Implied: false, Counterexample: found[min], Verified: true}, nil
 	}
 	if searchErr != nil {

@@ -29,6 +29,68 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	return ForEachCtx(context.Background(), workers, n, fn)
 }
 
+// First returns the lowest index i in [0, n) for which pred(i) reports
+// true, probing the range on up to workers goroutines; -1 when no index
+// qualifies. Indices are handed out through an atomic counter and an
+// index is skipped once a hit at or below it is known, so the search
+// does the sequential scan's work in the common case while still
+// fanning out. The result is exact, not merely "some hit": every index
+// below the returned one was probed and reported false. pred must be
+// safe for concurrent calls; with workers <= 1 the scan is strictly
+// sequential and stops at the first hit.
+func First(workers, n int, pred func(i int) bool) int {
+	if n <= 0 {
+		return -1
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if pred(i) {
+				return i
+			}
+		}
+		return -1
+	}
+	var next atomic.Int64
+	var min atomic.Int64
+	min.Store(int64(n))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int64(next.Add(1)) - 1
+				if i >= int64(n) {
+					return
+				}
+				if i >= min.Load() {
+					continue
+				}
+				if !pred(int(i)) {
+					continue
+				}
+				for {
+					cur := min.Load()
+					if i >= cur || min.CompareAndSwap(cur, i) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if m := min.Load(); m < int64(n) {
+		return int(m)
+	}
+	return -1
+}
+
 // ForEachCtx is ForEach under a context: once ctx is cancelled no new
 // index is handed out — queued work is abandoned promptly, in-flight
 // calls run to completion — and the context's error is returned (an

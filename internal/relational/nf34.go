@@ -219,11 +219,7 @@ func DependencyBasis(x AttrSet, u AttrSet, fds []FD, mvds []MVD) []AttrSet {
 				next = append(next, b)
 			}
 		}
-		if len(next) != len(blocks) {
-			blocks = next
-		} else {
-			blocks = next
-		}
+		blocks = next
 	}
 	sort.Slice(blocks, func(i, j int) bool { return blocks[i].String() < blocks[j].String() })
 	return blocks

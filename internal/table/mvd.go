@@ -1,0 +1,86 @@
+package table
+
+import "strings"
+
+// SatisfiesMVD reports whether the relation satisfies the multivalued
+// dependency lhs →→ rhs, with the remaining columns as the complement
+// Z = Cols − lhs − rhs. The check is the counting form of the
+// cross-product condition: group the rows by their lhs cells and
+// require, in every group, exactly |Y-projections| · |Z-projections|
+// distinct (Y, Z) combinations.
+//
+// Null handling matches analyze.TreeMVD's streaming fold over tree
+// tuples: a row with ⊥ in some lhs column is skipped (the dependency
+// does not constrain it — the Codd-table reading of agreement, as in
+// the FD checker), while ⊥ in a Y or Z column is an ordinary,
+// distinguished token. Columns named in lhs or rhs but absent from the
+// relation contribute ⊥ everywhere, so an absent lhs column makes the
+// MVD vacuously satisfied.
+func SatisfiesMVD(r *Relation, lhs, rhs []string) bool {
+	named := map[string]bool{}
+	for _, c := range lhs {
+		named[c] = true
+	}
+	var rcols []string
+	for _, c := range rhs {
+		if !named[c] {
+			named[c] = true
+			rcols = append(rcols, c)
+		}
+	}
+	var rest []string
+	for _, c := range r.Cols {
+		if !named[c] {
+			rest = append(rest, c)
+		}
+	}
+	type group struct {
+		ys, zs, pairs map[string]bool
+	}
+	groups := map[string]*group{}
+	for _, row := range r.Rows {
+		xk, known := cellsKey(r, row, lhs, true)
+		if !known {
+			continue
+		}
+		yk, _ := cellsKey(r, row, rcols, false)
+		zk, _ := cellsKey(r, row, rest, false)
+		g := groups[xk]
+		if g == nil {
+			g = &group{ys: map[string]bool{}, zs: map[string]bool{}, pairs: map[string]bool{}}
+			groups[xk] = g
+		}
+		g.ys[yk] = true
+		g.zs[zk] = true
+		g.pairs[yk+"\x00"+zk] = true
+	}
+	for _, g := range groups {
+		if len(g.pairs) != len(g.ys)*len(g.zs) {
+			return false
+		}
+	}
+	return true
+}
+
+// cellsKey renders a row's projection onto the named columns as a map
+// key. With strict set, a ⊥ cell (or a column missing from the
+// relation) makes the projection unusable and known comes back false.
+func cellsKey(r *Relation, row []Val, cols []string, strict bool) (key string, known bool) {
+	var b strings.Builder
+	for _, c := range cols {
+		v := Null
+		if i := r.Col(c); i >= 0 {
+			v = row[i]
+		}
+		if v.Null {
+			if strict {
+				return "", false
+			}
+			b.WriteString("\x00n\x1e")
+			continue
+		}
+		b.WriteString(v.S)
+		b.WriteString("\x1e")
+	}
+	return b.String(), true
+}

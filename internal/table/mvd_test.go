@@ -1,0 +1,41 @@
+package table
+
+import "testing"
+
+func TestSatisfiesMVD(t *testing.T) {
+	// Classic violation: k ->> v fails when (v, w) combinations are
+	// incomplete under one k.
+	r := New("k", "v", "w").
+		MustAddRow(V("1"), V("a"), V("x")).
+		MustAddRow(V("1"), V("b"), V("y"))
+	if SatisfiesMVD(r, []string{"k"}, []string{"v"}) {
+		t.Error("incomplete cross product reported satisfied")
+	}
+	// Completing the product repairs it.
+	r.MustAddRow(V("1"), V("a"), V("y"))
+	r.MustAddRow(V("1"), V("b"), V("x"))
+	if !SatisfiesMVD(r, []string{"k"}, []string{"v"}) {
+		t.Error("full cross product reported violated")
+	}
+	// A ⊥ on the LHS exempts the row; a ⊥ on the RHS is a value.
+	r2 := New("k", "v", "w").
+		MustAddRow(Null, V("a"), V("x")).
+		MustAddRow(Null, V("b"), V("y"))
+	if !SatisfiesMVD(r2, []string{"k"}, []string{"v"}) {
+		t.Error("⊥-LHS rows must be exempt")
+	}
+	r3 := New("k", "v", "w").
+		MustAddRow(V("1"), Null, V("x")).
+		MustAddRow(V("1"), V("b"), V("y"))
+	if SatisfiesMVD(r3, []string{"k"}, []string{"v"}) {
+		t.Error("⊥ is a distinguished RHS value; the product is incomplete")
+	}
+	// A column absent from the relation is ⊥ everywhere: vacuous on the
+	// LHS, constant on the RHS.
+	if !SatisfiesMVD(r, []string{"missing"}, []string{"v"}) {
+		t.Error("missing LHS column must be vacuously satisfied")
+	}
+	if !SatisfiesMVD(r, []string{"k"}, []string{"missing"}) {
+		t.Error("missing RHS column is constant; trivially satisfied")
+	}
+}

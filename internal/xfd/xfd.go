@@ -228,6 +228,38 @@ func (f FD) Equal(o FD) bool {
 	return samePathSet(f.LHS, o.LHS) && samePathSet(f.RHS, o.RHS)
 }
 
+// Compare orders FDs canonically: by the sorted, deduplicated string
+// renderings of their left-hand sides, then of their right-hand sides
+// (lexicographic on the path lists). It is a total order on FDs up to
+// Equal, independent of the order paths were listed in, so sorting any
+// FD slice with it yields one byte-stable rendering per FD set —
+// covers, key reports and goldens all rely on that.
+func Compare(a, b FD) int {
+	if c := comparePathSets(a.LHS, b.LHS); c != 0 {
+		return c
+	}
+	return comparePathSets(a.RHS, b.RHS)
+}
+
+func comparePathSets(a, b []dtd.Path) int {
+	as, bs := pathStrings(a), pathStrings(b)
+	for i := 0; i < len(as) && i < len(bs); i++ {
+		if as[i] != bs[i] {
+			if as[i] < bs[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(as) < len(bs):
+		return -1
+	case len(as) > len(bs):
+		return 1
+	}
+	return 0
+}
+
 func samePathSet(a, b []dtd.Path) bool {
 	as := pathStrings(a)
 	bs := pathStrings(b)

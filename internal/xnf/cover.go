@@ -1,6 +1,8 @@
 package xnf
 
 import (
+	"sort"
+
 	"xmlnorm/internal/dtd"
 	"xmlnorm/internal/implication"
 	"xmlnorm/internal/xfd"
@@ -15,6 +17,13 @@ import (
 // the relational minimal cover, decided with the Section 7 implication
 // engine instead of Armstrong's axioms (which are unsound here; see the
 // transitivity-with-nulls test in internal/implication).
+//
+// The result is a canonical cover: singleton right-hand sides, reduced
+// left-hand sides, no duplicates, and a canonical order — FDs sorted by
+// xfd.Compare — so the rendering is byte-stable across runs and across
+// engine configurations. (The cover's *content* can still depend on the
+// order Σ lists its FDs, as in the relational algorithm: reduction
+// keeps the first of two interchangeable members.)
 func MinimalCover(s Spec) ([]xfd.FD, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -80,5 +89,6 @@ func MinimalCover(s Spec) ([]xfd.FD, error) {
 			out = append(out, work[i])
 		}
 	}
+	sort.SliceStable(out, func(i, j int) bool { return xfd.Compare(out[i], out[j]) < 0 })
 	return out, nil
 }

@@ -1,0 +1,131 @@
+package xnf
+
+import (
+	"math/rand"
+	"testing"
+
+	"xmlnorm/internal/dtd"
+	"xmlnorm/internal/implication"
+	"xmlnorm/internal/xfd"
+)
+
+// TestMinimalCoverGoldenOrder pins the cover's rendering to the byte:
+// repeated runs over one input must produce one string, and that string
+// is the canonical xfd.Compare order, not Σ construction order.
+func TestMinimalCoverGoldenOrder(t *testing.T) {
+	s := coursesSpec(t)
+	// Noise as in TestMinimalCoverCourses: a duplicate, a trivial FD,
+	// and an implied multi-RHS FD.
+	s.FDs = append(s.FDs,
+		s.FDs[2].Clone(),
+		xfd.MustParse("courses.course -> courses.course.@cno"),
+		xfd.MustParse("courses.course.@cno -> courses.course.title, courses.course.title.S"),
+	)
+	// FD1 (@cno → course) is dropped as redundant here: the noise FD
+	// @cno → title survives reduction, and title determines its parent
+	// course structurally, so the rest implies FD1.
+	const golden = "courses.course, courses.course.taken_by.student.@sno -> courses.course.taken_by.student\n" +
+		"courses.course.@cno -> courses.course.title\n" +
+		"courses.course.taken_by.student.@sno -> courses.course.taken_by.student.name.S\n"
+	for run := 0; run < 3; run++ {
+		mc, err := MinimalCover(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := xfd.FormatSet(mc); got != golden {
+			t.Fatalf("run %d: cover rendering =\n%swant\n%s", run, got, golden)
+		}
+	}
+}
+
+// TestMinimalCoverOrderCanonical: whatever order Σ lists its FDs in,
+// the cover comes back sorted by xfd.Compare (the content may differ
+// between permutations when members are interchangeable; the ordering
+// never does).
+func TestMinimalCoverOrderCanonical(t *testing.T) {
+	s := coursesSpec(t)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		perm := s.Clone()
+		rng.Shuffle(len(perm.FDs), func(i, j int) { perm.FDs[i], perm.FDs[j] = perm.FDs[j], perm.FDs[i] })
+		mc, err := MinimalCover(perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(mc); i++ {
+			if xfd.Compare(mc[i-1], mc[i]) > 0 {
+				t.Fatalf("trial %d: cover not in canonical order:\n%s", trial, xfd.FormatSet(mc))
+			}
+		}
+	}
+}
+
+// coverDTD is the flat schema of the seeded equivalence suite: one
+// repeated element with four attributes, six paths in all, so a closure
+// run is microseconds and 1000 instances stay cheap.
+var coverDTD = `
+<!ELEMENT r (a*)>
+<!ELEMENT a EMPTY>
+<!ATTLIST a k CDATA #REQUIRED v CDATA #REQUIRED w CDATA #REQUIRED u CDATA #REQUIRED>`
+
+// TestCanonicalCoverEquivalenceSeeded is the cover's contract, measured
+// semantically: over 1000 seeded random Σ, the canonical cover and Σ
+// imply each other over the same DTD, both directions decided by the
+// implication engine (Armstrong-style syntactic equivalence is unsound
+// with nulls, so nothing short of the engine counts as proof here).
+func TestCanonicalCoverEquivalenceSeeded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-instance sweep")
+	}
+	d := dtd.MustParse(coverDTD)
+	ps, err := d.Paths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(20020601))
+	pick := func() dtd.Path { return ps[rng.Intn(len(ps))] }
+	for instance := 0; instance < 1000; instance++ {
+		var sigma []xfd.FD
+		for n := 1 + rng.Intn(4); n > 0; n-- {
+			f := xfd.FD{LHS: []dtd.Path{pick()}, RHS: []dtd.Path{pick()}}
+			if rng.Intn(2) == 0 {
+				f.LHS = append(f.LHS, pick())
+			}
+			if rng.Intn(3) == 0 {
+				f.RHS = append(f.RHS, pick())
+			}
+			sigma = append(sigma, f)
+		}
+		s := Spec{DTD: d, FDs: sigma}
+		mc, err := MinimalCover(s)
+		if err != nil {
+			t.Fatalf("instance %d: %v", instance, err)
+		}
+		coverEng, err := implication.NewEngine(d, mc)
+		if err != nil {
+			t.Fatalf("instance %d: %v", instance, err)
+		}
+		origEng, err := implication.NewEngine(d, sigma)
+		if err != nil {
+			t.Fatalf("instance %d: %v", instance, err)
+		}
+		for _, f := range sigma {
+			ans, err := coverEng.Implies(f)
+			if err != nil {
+				t.Fatalf("instance %d: %v", instance, err)
+			}
+			if !ans.Implied {
+				t.Fatalf("instance %d: cover %v does not imply original %s (Σ = %v)", instance, mc, f, sigma)
+			}
+		}
+		for _, f := range mc {
+			ans, err := origEng.Implies(f)
+			if err != nil {
+				t.Fatalf("instance %d: %v", instance, err)
+			}
+			if !ans.Implied {
+				t.Fatalf("instance %d: Σ %v does not imply cover FD %s", instance, sigma, f)
+			}
+		}
+	}
+}

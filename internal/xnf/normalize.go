@@ -194,6 +194,15 @@ func tryMove(s Spec, eng *engine.Engine, anomalies []Anomaly, names Names) (Tran
 	return TransformResult{}, Step{}, false, nil
 }
 
+// MinimizeAnomaly refines an anomalous FD to a (D, Σ)-minimal one —
+// the refinement Normalize applies before choosing a transformation —
+// without performing any rewrite. The analysis subsystem uses it to
+// name the repair step an anomaly would trigger (minimal forms like
+// {q} → p.@l are what make the cheaper move-attribute step apply).
+func MinimizeAnomaly(eng *engine.Engine, f xfd.FD) (xfd.FD, error) {
+	return minimize(eng, f)
+}
+
 // minimize refines an anomalous FD to a (D, Σ)-minimal one: while some
 // strictly smaller anomalous FD exists over the definition's candidate
 // paths, switch to it (Section 6). The engine's cache pays off here:

@@ -92,6 +92,15 @@ func AnomaliesOpts(s Spec, eo engine.Options) ([]Anomaly, error) {
 	return anomaliesWith(eng, s.FDs)
 }
 
+// AnomaliesWith lists the anomalous FDs among (the single-RHS splits
+// of) fds, answering through a caller-supplied engine. The analysis
+// subsystem uses it to share one cached engine between the anomaly
+// scan, anomaly minimization and the repair-step search; the engine
+// must be built over the spec the FDs belong to.
+func AnomaliesWith(eng *engine.Engine, fds []xfd.FD) ([]Anomaly, error) {
+	return anomaliesWith(eng, fds)
+}
+
 // anomaliesWith scans the single-RHS splits of fds for anomalies across
 // the engine's worker pool. Results keep the sequential order: each
 // goroutine writes only its own index, and the fan-out engine answers

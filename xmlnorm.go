@@ -35,6 +35,7 @@ import (
 	"io"
 	"strings"
 
+	"xmlnorm/internal/analyze"
 	"xmlnorm/internal/dtd"
 	"xmlnorm/internal/engine"
 	"xmlnorm/internal/implication"
@@ -76,6 +77,20 @@ type (
 	EngineStats = engine.Stats
 	// RedundancyReport quantifies update-anomaly-causing redundancy.
 	RedundancyReport = xnf.RedundancyReport
+	// AnalysisReport is the structured schema analysis of a
+	// specification: candidate keys, the classified canonical cover,
+	// the XNF diagnosis, and the 4XNF verdict. See Analyze.
+	AnalysisReport = analyze.Report
+	// AnalyzeOptions configures Analyze (key-size bound, declared tree
+	// MVDs, engine options).
+	AnalyzeOptions = analyze.Options
+	// CandidateKey is one candidate key of a specification.
+	CandidateKey = analyze.Key
+	// Diagnosis explains one XNF anomaly: witness, repair step,
+	// minimal form.
+	Diagnosis = analyze.Diagnosis
+	// TreeMVD is a multivalued dependency over tree tuples.
+	TreeMVD = analyze.TreeMVD
 	// Preservation reports which original FDs survive a normalization.
 	Preservation = xnf.Preservation
 	// Node is one element node of a Tree.
@@ -220,8 +235,23 @@ func CheckPreservation(orig, norm Spec, steps []Step) (Preservation, error) {
 }
 
 // MinimalCover computes an equivalent reduced FD set: single right-hand
-// sides, no trivial FDs, no extraneous LHS paths, no redundant members.
+// sides, no trivial FDs, no extraneous LHS paths, no redundant members,
+// in canonical order (byte-stable rendering).
 func MinimalCover(s Spec) ([]FD, error) { return xnf.MinimalCover(s) }
+
+// Analyze produces the schema-analysis report of a specification:
+// candidate keys up to the configured size, the canonical cover with a
+// per-FD classification of Σ (essential / weakened / redundant), a
+// diagnosis of every XNF anomaly with witness and repair step, and the
+// 4XNF (4NF-of-the-flat-image) verdict. The report is deterministic
+// across worker counts and cache settings.
+func Analyze(s Spec, opts AnalyzeOptions) (*AnalysisReport, error) {
+	return analyze.Analyze(s, opts)
+}
+
+// ParseTreeMVD parses a tree MVD in "lhs, ... ->> rhs, ..." dotted
+// path notation.
+func ParseTreeMVD(text string) (TreeMVD, error) { return analyze.ParseTreeMVD(text) }
 
 // Implies decides (D, Σ) ⊢ q.
 func Implies(s Spec, q FD) (ImplicationAnswer, error) {
